@@ -1,0 +1,248 @@
+//! Normalized component signatures for the Table-4 "vis component matching"
+//! metric.
+//!
+//! The paper decomposes a VIS query into three component groups and scores
+//! each separately:
+//!
+//! * **VIS** — the `Visualize` part (chart type);
+//! * **Axis** — the `Select` part (x/y/z attributes, including aggregates);
+//! * **Data** — `Where`, `Join`, `Grouping`, `Binning`, `Order` (plus
+//!   `Superlative`, which the paper folds into the data operations).
+//!
+//! [`Components::of`] extracts a canonical string signature per component so
+//! that two trees match on a component iff their signatures are equal.
+//! Signatures are order-normalized where SQL semantics are order-insensitive
+//! (filter conjuncts, join conditions, group-by keys) and order-sensitive
+//! where they are not (the select list encodes the axis assignment).
+
+use crate::query::*;
+use serde::{Deserialize, Serialize};
+
+/// Canonical per-component signatures of one VIS tree.
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Components {
+    /// Chart type keyword, e.g. `"bar"`. Empty when the tree is SQL-only.
+    pub vis: String,
+    /// Ordered select/axis signature, e.g. `"t.a|count(t.*)"`.
+    pub axis: String,
+    /// Sorted filter-leaf signature (values included).
+    pub wheres: String,
+    /// Sorted join-condition signature.
+    pub joins: String,
+    /// Sorted group-by column signature.
+    pub grouping: String,
+    /// Binning signature, e.g. `"t.d@year"`.
+    pub binning: String,
+    /// Order signature, e.g. `"count(t.*)#desc"`, with any superlative
+    /// appended as `"top3(t.a)"`.
+    pub order: String,
+}
+
+/// The component names, in Table-4 column order.
+pub const COMPONENT_NAMES: [&str; 7] =
+    ["vis", "axis", "where", "join", "grouping", "binning", "order"];
+
+impl Components {
+    /// Extract the signatures of a tree.
+    pub fn of(q: &VisQuery) -> Components {
+        let mut c = Components::default();
+        if let Some(chart) = q.chart {
+            c.vis = chart.keyword().to_string();
+        }
+        let bodies = q.query.bodies();
+        let primary = bodies[0];
+
+        c.axis = primary.select.iter().map(attr_sig).collect::<Vec<_>>().join("|");
+        if let Some(op) = q.query.set_op() {
+            c.axis.push_str(&format!(
+                "{}{}",
+                op.keyword(),
+                bodies[1].select.iter().map(attr_sig).collect::<Vec<_>>().join("|")
+            ));
+        }
+
+        let mut leaves: Vec<String> = Vec::new();
+        for b in &bodies {
+            if let Some(p) = &b.filter {
+                p.for_each_leaf(&mut |leaf| leaves.push(pred_sig(leaf)));
+            }
+        }
+        leaves.sort();
+        c.wheres = leaves.join("&");
+
+        let mut joins: Vec<String> = bodies
+            .iter()
+            .flat_map(|b| b.joins.iter())
+            .map(|j| {
+                let (a, b) = if j.left.to_token() <= j.right.to_token() {
+                    (&j.left, &j.right)
+                } else {
+                    (&j.right, &j.left)
+                };
+                format!("{}={}", a.to_token(), b.to_token())
+            })
+            .collect();
+        joins.sort();
+        c.joins = joins.join("&");
+
+        if let Some(g) = &primary.group {
+            let mut keys: Vec<String> = g.group_by.iter().map(ColumnRef::to_token).collect();
+            keys.sort();
+            c.grouping = keys.join("&");
+            if let Some(bin) = &g.bin {
+                c.binning = format!("{}@{}", bin.col.to_token(), bin.unit.keyword());
+            }
+        }
+
+        if let Some(o) = &primary.order {
+            c.order = format!("{}#{}", attr_sig(&o.attr), o.dir.keyword());
+        }
+        if let Some(s) = &primary.superlative {
+            let tag = match s.dir {
+                SuperDir::Most => "top",
+                SuperDir::Least => "bottom",
+            };
+            if !c.order.is_empty() {
+                c.order.push('+');
+            }
+            c.order.push_str(&format!("{tag}{}({})", s.k, attr_sig(&s.attr)));
+        }
+        c
+    }
+
+    /// Per-component equality against a gold tree's components, in
+    /// [`COMPONENT_NAMES`] order.
+    pub fn matches(&self, gold: &Components) -> [bool; 7] {
+        [
+            self.vis == gold.vis,
+            self.axis == gold.axis,
+            self.wheres == gold.wheres,
+            self.joins == gold.joins,
+            self.grouping == gold.grouping,
+            self.binning == gold.binning,
+            self.order == gold.order,
+        ]
+    }
+
+    /// Whether the component is present (non-empty) on either side — used to
+    /// restrict accuracy denominators to queries that exercise a component.
+    pub fn present_either(&self, other: &Components) -> [bool; 7] {
+        [
+            !self.vis.is_empty() || !other.vis.is_empty(),
+            !self.axis.is_empty() || !other.axis.is_empty(),
+            !self.wheres.is_empty() || !other.wheres.is_empty(),
+            !self.joins.is_empty() || !other.joins.is_empty(),
+            !self.grouping.is_empty() || !other.grouping.is_empty(),
+            !self.binning.is_empty() || !other.binning.is_empty(),
+            !self.order.is_empty() || !other.order.is_empty(),
+        ]
+    }
+}
+
+fn attr_sig(a: &Attr) -> String {
+    if a.agg == AggFunc::None {
+        a.col.to_token()
+    } else if a.distinct {
+        format!("{}(distinct {})", a.agg.keyword(), a.col.to_token())
+    } else {
+        format!("{}({})", a.agg.keyword(), a.col.to_token())
+    }
+}
+
+fn operand_sig(o: &Operand) -> String {
+    match o {
+        Operand::Lit(l) => l.to_token(),
+        Operand::List(ls) => {
+            format!("[{}]", ls.iter().map(Literal::to_token).collect::<Vec<_>>().join(","))
+        }
+        Operand::Subquery(q) => {
+            format!("<{}>", VisQuery { chart: None, query: (**q).clone() }.to_vql())
+        }
+    }
+}
+
+fn pred_sig(p: &Predicate) -> String {
+    match p {
+        Predicate::And(..) | Predicate::Or(..) => unreachable!("leaf visitor"),
+        Predicate::Cmp { op, attr, rhs } => {
+            format!("{}{}{}", attr_sig(attr), op.symbol(), operand_sig(rhs))
+        }
+        Predicate::Between { attr, low, high } => {
+            format!("{} btw {}..{}", attr_sig(attr), operand_sig(low), operand_sig(high))
+        }
+        Predicate::Like { attr, pattern, negated } => {
+            format!("{}{}~{}", attr_sig(attr), if *negated { "!" } else { "" }, pattern)
+        }
+        Predicate::In { attr, rhs, negated } => {
+            format!("{}{}in{}", attr_sig(attr), if *negated { "!" } else { "" }, operand_sig(rhs))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tokens::parse_vql_str;
+
+    fn comps(vql: &str) -> Components {
+        Components::of(&parse_vql_str(vql).unwrap())
+    }
+
+    #[test]
+    fn extracts_all_components() {
+        let c = comps(
+            "visualize stacked_bar select t.a , sum ( t.q ) , t.c from t \
+             join u on t.uid = u.id where t.x > 1 group by t.a , t.c \
+             bin t.d by month order by sum ( t.q ) desc top 5 by sum ( t.q )",
+        );
+        assert_eq!(c.vis, "stacked_bar");
+        assert_eq!(c.axis, "t.a|sum(t.q)|t.c");
+        assert_eq!(c.wheres, "t.x>1");
+        assert_eq!(c.joins, "t.uid=u.id");
+        assert_eq!(c.grouping, "t.a&t.c");
+        assert_eq!(c.binning, "t.d@month");
+        assert_eq!(c.order, "sum(t.q)#desc+top5(sum(t.q))");
+    }
+
+    #[test]
+    fn filter_conjunct_order_is_normalized() {
+        let a = comps("select t.a from t where ( t.x > 1 and t.y < 2 )");
+        let b = comps("select t.a from t where ( t.y < 2 and t.x > 1 )");
+        assert_eq!(a.wheres, b.wheres);
+    }
+
+    #[test]
+    fn join_side_order_is_normalized() {
+        let a = comps("select t.a from t join u on t.uid = u.id");
+        let b = comps("select t.a from t join u on u.id = t.uid");
+        assert_eq!(a.joins, b.joins);
+    }
+
+    #[test]
+    fn select_order_is_significant() {
+        let a = comps("select t.a , t.b from t");
+        let b = comps("select t.b , t.a from t");
+        assert_ne!(a.axis, b.axis);
+    }
+
+    #[test]
+    fn matches_and_presence() {
+        let gold = comps("visualize bar select t.a , count ( t.* ) from t group by t.a");
+        let pred = comps("visualize pie select t.a , count ( t.* ) from t group by t.a");
+        let m = pred.matches(&gold);
+        assert!(!m[0]); // vis differs
+        assert!(m[1]); // axis matches
+        assert!(m[4]); // grouping matches
+        let p = pred.present_either(&gold);
+        assert!(p[0] && p[1] && p[4]);
+        assert!(!p[2] && !p[3] && !p[5] && !p[6]);
+    }
+
+    #[test]
+    fn subquery_and_set_op_reflected() {
+        let c = comps("select t.a from t where t.id in ( select u.id from u )");
+        assert!(c.wheres.contains("<select u.id from u>"), "{}", c.wheres);
+        let c = comps("select t.a from t union select t.b from t");
+        assert!(c.axis.contains("union"), "{}", c.axis);
+    }
+}

@@ -1,0 +1,102 @@
+//! Tree-edit records Δ = (Δ⁻, Δ⁺).
+//!
+//! §2.3 of the paper derives every VIS tree *tᵢ* from the SQL tree *t_Q* via
+//! a sequence of deletions followed by insertions. The NL-synthesis step
+//! (§2.5) then replays the record: insertions are verbalized with phrase
+//! rules; deletions are flagged for (simulated) manual revision. The record
+//! also drives the man-hour cost model (§3.1/§3.3).
+
+use crate::query::*;
+use serde::{Deserialize, Serialize};
+
+/// One atomic edit applied to the tree.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum EditOp {
+    /// Δ⁻ — a projection attribute removed from `Select`.
+    DeleteAttr(Attr),
+    /// Δ⁻ — the `Order` subtree removed.
+    DeleteOrder(OrderSpec),
+    /// Δ⁺ — a `grouping A` key added.
+    InsertGrouping(ColumnRef),
+    /// Δ⁺ — a `binning A` added.
+    InsertBinning(BinSpec),
+    /// Δ⁺ — an aggregate wrapped around a select attribute
+    /// (`t.q` → `sum(t.q)`).
+    InsertAgg { attr: ColumnRef, agg: AggFunc },
+    /// Δ⁺ — the `Visualize` subtree added.
+    InsertVisualize(ChartType),
+    /// Δ⁺ — an `Order` subtree added (sorting a chart axis).
+    InsertOrder(OrderSpec),
+}
+
+impl EditOp {
+    pub fn is_deletion(&self) -> bool {
+        matches!(self, EditOp::DeleteAttr(_) | EditOp::DeleteOrder(_))
+    }
+}
+
+/// The full edit record from one SQL tree to one VIS tree.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct TreeEdit {
+    pub ops: Vec<EditOp>,
+}
+
+impl TreeEdit {
+    pub fn push(&mut self, op: EditOp) {
+        self.ops.push(op);
+    }
+
+    /// Δ⁻ — the deletions.
+    pub fn deletions(&self) -> impl Iterator<Item = &EditOp> {
+        self.ops.iter().filter(|o| o.is_deletion())
+    }
+
+    /// Δ⁺ — the insertions.
+    pub fn insertions(&self) -> impl Iterator<Item = &EditOp> {
+        self.ops.iter().filter(|o| !o.is_deletion())
+    }
+
+    /// Whether the VIS tree required any deletion — such trees need manual
+    /// NL revision per §2.5 ("for these deletions, we manually revised the
+    /// nl queries").
+    pub fn needs_manual_nl_revision(&self) -> bool {
+        self.ops.iter().any(EditOp::is_deletion)
+    }
+
+    pub fn deletion_count(&self) -> usize {
+        self.deletions().count()
+    }
+
+    pub fn insertion_count(&self) -> usize {
+        self.insertions().count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partitions_deletions_and_insertions() {
+        let mut e = TreeEdit::default();
+        e.push(EditOp::DeleteAttr(Attr::col("t", "x")));
+        e.push(EditOp::InsertVisualize(ChartType::Bar));
+        e.push(EditOp::InsertGrouping(ColumnRef::new("t", "a")));
+        e.push(EditOp::DeleteOrder(OrderSpec {
+            attr: Attr::col("t", "x"),
+            dir: OrderDir::Asc,
+        }));
+        assert_eq!(e.deletion_count(), 2);
+        assert_eq!(e.insertion_count(), 2);
+        assert!(e.needs_manual_nl_revision());
+    }
+
+    #[test]
+    fn insert_only_edit_needs_no_manual_revision() {
+        let mut e = TreeEdit::default();
+        e.push(EditOp::InsertVisualize(ChartType::Pie));
+        e.push(EditOp::InsertAgg { attr: ColumnRef::new("t", "q"), agg: AggFunc::Sum });
+        assert!(!e.needs_manual_nl_revision());
+        assert_eq!(e.deletion_count(), 0);
+    }
+}

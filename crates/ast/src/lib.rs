@@ -1,0 +1,40 @@
+//! # nv-ast — the unified SQL/VIS abstract syntax tree
+//!
+//! This crate implements the grammar of Figure 5 of the nvBench paper
+//! (SIGMOD 2021): a single AST that can represent both a SQL query (*what
+//! data*) and a VIS query (*what data* + *how to visualize*). The grammar is
+//! an extension of SemQL with a `Visualize` production (seven chart types)
+//! and a `binning` group operation.
+//!
+//! The same tree is:
+//!
+//! * produced by the SQL parser in `nv-sql`,
+//! * edited by the synthesizer in `nv-synth` (deletions + insertions),
+//! * executed by the relational engine in `nv-data`,
+//! * rendered to Vega-Lite / ECharts by `nv-render`,
+//! * and linearized to / parsed from **VQL token sequences** (the
+//!   input/output vocabulary of the `seq2vis` neural translator).
+//!
+//! ## Modules
+//!
+//! * [`query`] — the tree types ([`VisQuery`], [`QueryBody`], [`Predicate`], …)
+//! * [`tokens`] — canonical VQL linearization and its parser (round-trip safe)
+//! * [`hardness`] — Easy/Medium/Hard/Extra-Hard classification (§3.2)
+//! * [`components`] — normalized component signatures for the Table-4 metrics
+//! * [`edit`] — tree-edit records Δ = (Δ⁻, Δ⁺) produced by the synthesizer
+
+pub mod components;
+pub mod edit;
+pub mod hardness;
+pub mod query;
+pub mod tokens;
+
+pub use components::Components;
+pub use edit::{EditOp, TreeEdit};
+pub use hardness::Hardness;
+pub use query::{
+    AggFunc, Attr, BinSpec, BinUnit, ChartType, CmpOp, ColumnRef, GroupSpec, JoinCond, Literal,
+    Operand, OrderDir, OrderSpec, Predicate, QueryBody, SetOp, SetQuery, SuperDir, Superlative,
+    VisQuery,
+};
+pub use tokens::{parse_vql, ParseError};

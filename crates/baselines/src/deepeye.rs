@@ -1,0 +1,144 @@
+//! The DeepEye baseline (§4.4): rule-based visualization from keyword
+//! search. It matches columns mentioned in the NL, enumerates candidate
+//! charts with the Table-1 rules, and ranks them with the chart-quality
+//! model — returning top-k. Per the paper, it "can not successfully process
+//! Join, Nested, and Filter queries": the NL's filter/join content is simply
+//! ignored, which is exactly why it scores poorly on Hard/Extra-Hard tasks.
+
+use crate::keyword::{match_columns, ColumnMention};
+use nv_ast::{Attr, QueryBody, SetQuery, VisQuery};
+use nv_core::Nl2VisPredictor;
+use nv_data::Database;
+use nv_quality::DeepEyeFilter;
+use nv_render::chart_data;
+use nv_synth::generate_candidates;
+
+/// The keyword-search visualization recommender.
+pub struct DeepEyeBaseline {
+    filter: DeepEyeFilter,
+}
+
+impl DeepEyeBaseline {
+    pub fn new(seed: u64) -> DeepEyeBaseline {
+        DeepEyeBaseline { filter: DeepEyeFilter::new(seed) }
+    }
+
+    /// Ranked candidate trees for an NL query.
+    fn ranked(&self, nl: &str, db: &Database) -> Vec<VisQuery> {
+        let mentions = match_columns(nl, db);
+        if mentions.is_empty() {
+            return vec![];
+        }
+        // Build a pseudo SQL tree over the mentioned columns (≤ 3) and let
+        // the candidate generator enumerate charts from it.
+        let table = mentions[0].table.clone();
+        let cols: Vec<&ColumnMention> = mentions.iter().take(3).collect();
+        let select: Vec<Attr> = cols
+            .iter()
+            .map(|m| Attr::col(table.clone(), m.column.clone()))
+            .collect();
+        let sql = VisQuery::sql(SetQuery::simple(QueryBody::simple(table, select)));
+        let mut scored: Vec<(f64, VisQuery)> = generate_candidates(db, &sql)
+            .into_iter()
+            .filter_map(|c| {
+                let data = chart_data(db, &c.tree).ok()?;
+                Some((self.filter.score(&data), c.tree))
+            })
+            .collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0));
+        scored.into_iter().map(|(_, t)| t).collect()
+    }
+}
+
+impl Nl2VisPredictor for DeepEyeBaseline {
+    fn name(&self) -> String {
+        "DeepEye".into()
+    }
+
+    fn predict(&self, nl: &str, db: &Database) -> Option<VisQuery> {
+        self.ranked(nl, db).into_iter().next()
+    }
+
+    fn predict_top_k(&self, nl: &str, db: &Database, k: usize) -> Vec<VisQuery> {
+        let mut r = self.ranked(nl, db);
+        r.truncate(k);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_ast::ChartType;
+    use nv_data::{table_from, ColumnType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d", "Demo");
+        db.add_table(table_from(
+            "student",
+            &[
+                ("major", ColumnType::Categorical),
+                ("gpa", ColumnType::Quantitative),
+                ("age", ColumnType::Quantitative),
+            ],
+            (0..40)
+                .map(|i| {
+                    vec![
+                        Value::text(["cs", "math", "bio", "art", "law"][i % 5]),
+                        Value::Float(2.0 + (i % 8) as f64 / 4.0),
+                        Value::Int(18 + (i % 10) as i64),
+                    ]
+                })
+                .collect(),
+        ));
+        db
+    }
+
+    #[test]
+    fn produces_ranked_charts_for_mentioned_columns() {
+        let b = DeepEyeBaseline::new(42);
+        let top = b.predict_top_k("show gpa by major", &db(), 6);
+        assert!(!top.is_empty());
+        assert!(top.len() <= 6);
+        // All candidates visualize the mentioned columns.
+        for t in &top {
+            let cols: Vec<String> = t
+                .query
+                .primary()
+                .select
+                .iter()
+                .map(|a| a.col.column.clone())
+                .collect();
+            assert!(
+                cols.iter().any(|c| c == "gpa" || c == "major" || c == "*"),
+                "{cols:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn ignores_filters_entirely() {
+        let b = DeepEyeBaseline::new(42);
+        let t = b
+            .predict("show gpa by major for students with age above 20", &db())
+            .unwrap();
+        assert!(t.query.primary().filter.is_none());
+    }
+
+    #[test]
+    fn no_mentions_no_prediction() {
+        let b = DeepEyeBaseline::new(42);
+        assert!(b.predict("tell me something nice", &db()).is_none());
+    }
+
+    #[test]
+    fn top1_is_best_scored() {
+        let b = DeepEyeBaseline::new(42);
+        let ranked = b.ranked("gpa per major", &db());
+        assert!(ranked.len() >= 2);
+        // The first tree must be a valid chart over the mentioned data.
+        assert!(ranked[0].is_vis());
+        assert_ne!(ranked[0].chart, None);
+        let _ = ChartType::ALL;
+    }
+}

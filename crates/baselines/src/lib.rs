@@ -1,0 +1,20 @@
+//! # nv-baselines — the state-of-the-art comparators of §4.4
+//!
+//! Reimplementations of the two systems the paper compares seq2vis against
+//! in Table 5:
+//!
+//! * [`DeepEyeBaseline`] — keyword-search chart recommendation with top-k
+//!   ranking (ignores joins, nesting **and filters**);
+//! * [`Nl4DvBaseline`] — a semantic-parse toolkit (explicit/implicit chart
+//!   detection, aggregates, simple filters and sorting; no joins/nesting).
+//!
+//! Both implement [`nv_core::Nl2VisPredictor`], so the same evaluation
+//! harness scores them and the neural translator.
+
+pub mod deepeye;
+pub mod keyword;
+pub mod nl4dv;
+
+pub use deepeye::DeepEyeBaseline;
+pub use keyword::{detect_agg, detect_chart, detect_numeric_filter, detect_order_desc, match_columns, ColumnMention};
+pub use nl4dv::Nl4DvBaseline;

@@ -1,0 +1,244 @@
+//! The NL4DV-style baseline (§4.4): a semantic-parse toolkit that detects
+//! attributes, an explicit or implicit chart type, aggregates, simple
+//! comparative filters and sort requests — then assembles one analytic
+//! specification. Per the paper it "cannot handle Join and Nested queries";
+//! unlike DeepEye it *does* understand simple filters.
+
+use crate::keyword::{
+    detect_agg, detect_chart, detect_numeric_filter, detect_order_desc, match_columns,
+};
+use nv_ast::{
+    AggFunc, Attr, BinSpec, BinUnit, ChartType, CmpOp, ColumnRef, GroupSpec, Literal, Operand,
+    OrderDir, OrderSpec, Predicate, QueryBody, SetQuery, VisQuery,
+};
+use nv_core::Nl2VisPredictor;
+use nv_data::{ColumnType, Database};
+
+/// The semantic-parser baseline.
+#[derive(Debug, Default)]
+pub struct Nl4DvBaseline;
+
+impl Nl4DvBaseline {
+    pub fn new() -> Nl4DvBaseline {
+        Nl4DvBaseline
+    }
+}
+
+impl Nl2VisPredictor for Nl4DvBaseline {
+    fn name(&self) -> String {
+        "NL4DV".into()
+    }
+
+    fn predict(&self, nl: &str, db: &Database) -> Option<VisQuery> {
+        let mentions = match_columns(nl, db);
+        if mentions.is_empty() {
+            return None;
+        }
+        let table = mentions[0].table.clone();
+        let s = nl.to_lowercase();
+
+        // Channel assignment: first C/T mention is x; first Q mention is the
+        // measure; a second C mention becomes the series of grouped charts.
+        let x = mentions
+            .iter()
+            .find(|m| m.ctype != ColumnType::Quantitative)
+            .or(mentions.first())?;
+        let q = mentions.iter().find(|m| m.ctype == ColumnType::Quantitative);
+        let agg = detect_agg(nl);
+        let chart = detect_chart(nl).unwrap_or({
+            // Attribute-type defaults (NL4DV's own fallback rules).
+            match (x.ctype, q.is_some()) {
+                (ColumnType::Temporal, _) => ChartType::Line,
+                (ColumnType::Quantitative, true) => ChartType::Scatter,
+                _ => ChartType::Bar,
+            }
+        });
+
+        let x_attr = Attr::col(x.table.clone(), x.column.clone());
+        let y_attr = match (q, agg) {
+            (Some(q), Some(a)) if a != AggFunc::Count => {
+                Attr { agg: a, col: ColumnRef::new(q.table.clone(), q.column.clone()), distinct: false }
+            }
+            (Some(q), None) if chart == ChartType::Scatter || chart == ChartType::GroupingScatter => {
+                Attr::col(q.table.clone(), q.column.clone())
+            }
+            (Some(q), None) => Attr {
+                agg: AggFunc::Sum,
+                col: ColumnRef::new(q.table.clone(), q.column.clone()),
+                distinct: false,
+            },
+            _ => Attr::agg(AggFunc::Count, table.clone(), "*"),
+        };
+
+        let mut select = vec![x_attr.clone(), y_attr.clone()];
+        // Third channel for grouped chart types.
+        if chart.is_grouped() {
+            let series = mentions.iter().find(|m| {
+                m.column != x.column
+                    && Some(m.column.as_str()) != q.map(|q| q.column.as_str())
+                    && m.ctype == ColumnType::Categorical
+            })?;
+            select.push(Attr::col(series.table.clone(), series.column.clone()));
+        }
+
+        let mut body = QueryBody::simple(table.clone(), select.clone());
+
+        // Grouping: aggregated y over a non-scatter chart groups by x (and
+        // the series).
+        let needs_group = y_attr.is_aggregated()
+            && !matches!(chart, ChartType::Scatter | ChartType::GroupingScatter);
+        if needs_group {
+            let mut g = GroupSpec::by(x_attr.col.clone());
+            if chart.is_grouped() {
+                if let Some(s3) = select.get(2) {
+                    g.group_by.push(s3.col.clone());
+                }
+            }
+            // Temporal x with an explicit "by year/month" becomes a bin.
+            if x.ctype == ColumnType::Temporal {
+                let unit = if s.contains("year") {
+                    Some(BinUnit::Year)
+                } else if s.contains("month") {
+                    Some(BinUnit::Month)
+                } else if s.contains("weekday") || s.contains("day of the week") {
+                    Some(BinUnit::Weekday)
+                } else {
+                    None
+                };
+                if let Some(unit) = unit {
+                    g.group_by.retain(|c| *c != x_attr.col);
+                    g.bin = Some(BinSpec { col: x_attr.col.clone(), unit });
+                }
+            }
+            body.group = Some(g);
+        }
+
+        // One simple comparative filter (no joins, no nesting).
+        if let Some((op, n)) = detect_numeric_filter(nl) {
+            let target = mentions
+                .iter()
+                .find(|m| {
+                    m.ctype == ColumnType::Quantitative
+                        && Some(m.column.as_str()) != q.map(|q| q.column.as_str())
+                })
+                .or(q);
+            if let Some(t) = target {
+                body.filter = Some(Predicate::Cmp {
+                    op,
+                    attr: Attr::col(t.table.clone(), t.column.clone()),
+                    rhs: Operand::Lit(if n.fract() == 0.0 {
+                        Literal::Int(n as i64)
+                    } else {
+                        Literal::Float(n)
+                    }),
+                });
+            }
+        }
+
+        // Sorting.
+        if let Some(desc) = detect_order_desc(nl) {
+            if matches!(chart, ChartType::Bar | ChartType::StackedBar | ChartType::Line) {
+                body.order = Some(OrderSpec {
+                    attr: y_attr.clone(),
+                    dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
+                });
+            }
+        }
+        let _ = CmpOp::Eq;
+
+        Some(VisQuery::vis(chart, SetQuery::simple(body)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_data::{table_from, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d", "Demo");
+        db.add_table(table_from(
+            "employee",
+            &[
+                ("title", ColumnType::Categorical),
+                ("salary", ColumnType::Quantitative),
+                ("age", ColumnType::Quantitative),
+                ("hired", ColumnType::Temporal),
+            ],
+            (0..20)
+                .map(|i| {
+                    vec![
+                        Value::text(["eng", "mgr", "ops"][i % 3]),
+                        Value::Int(100 + i as i64),
+                        Value::Int(25 + (i % 20) as i64),
+                        Value::text("2020-03-04"),
+                    ]
+                })
+                .collect(),
+        ));
+        db
+    }
+
+    fn predict(nl: &str) -> VisQuery {
+        Nl4DvBaseline::new().predict(nl, &db()).expect(nl)
+    }
+
+    #[test]
+    fn explicit_chart_and_agg() {
+        let t = predict("Show a pie chart of the average salary for each title.");
+        assert_eq!(t.chart, Some(ChartType::Pie));
+        let b = t.query.primary();
+        assert_eq!(b.select[0].col.column, "title");
+        assert_eq!(b.select[1].agg, AggFunc::Avg);
+        assert!(b.group.as_ref().unwrap().group_by[0].column == "title");
+    }
+
+    #[test]
+    fn count_when_no_quantitative_mentioned() {
+        let t = predict("How many employees per title, as a bar chart?");
+        let b = t.query.primary();
+        assert_eq!(b.select[1].agg, AggFunc::Count);
+        assert!(b.select[1].col.is_star());
+    }
+
+    #[test]
+    fn numeric_filter_supported() {
+        let t = predict("Bar chart of total salary by title for age above 30.");
+        let f = t.query.primary().filter.as_ref().expect("filter");
+        match f {
+            Predicate::Cmp { op, attr, .. } => {
+                assert_eq!(*op, CmpOp::Gt);
+                assert_eq!(attr.col.column, "age");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn temporal_binning_from_phrase() {
+        let t = predict("Line chart of total salary by hired year.");
+        let g = t.query.primary().group.as_ref().unwrap();
+        assert_eq!(g.bin.as_ref().unwrap().unit, BinUnit::Year);
+        assert_eq!(t.chart, Some(ChartType::Line));
+    }
+
+    #[test]
+    fn sorting_detected() {
+        let t = predict("Bar chart of average salary per title in descending order.");
+        assert_eq!(t.query.primary().order.as_ref().unwrap().dir, OrderDir::Desc);
+    }
+
+    #[test]
+    fn no_attributes_no_answer() {
+        assert!(Nl4DvBaseline::new().predict("hello there", &db()).is_none());
+    }
+
+    #[test]
+    fn scatter_keeps_raw_values() {
+        let t = predict("Scatter of salary and age.");
+        assert_eq!(t.chart, Some(ChartType::Scatter));
+        let b = t.query.primary();
+        assert!(b.group.is_none());
+        assert!(b.select.iter().all(|a| !a.is_aggregated()));
+    }
+}

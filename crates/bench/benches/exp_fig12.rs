@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 12 artifact (Quick scale) and
+//! times the computation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_fig12;
+use nv_bench::{context, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    println!("{}", exp_fig12(ctx));
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_fig12", |b| b.iter(|| exp_fig12(ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

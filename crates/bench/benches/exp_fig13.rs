@@ -1,0 +1,17 @@
+//! Regenerates the paper's Figure 13 artifact (Quick scale) and
+//! times the computation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_fig13;
+use nv_bench::{context, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    println!("{}", exp_fig13(ctx));
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_fig13", |b| b.iter(|| exp_fig13(ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

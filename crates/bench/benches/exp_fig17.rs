@@ -1,0 +1,24 @@
+//! Regenerates Figure 17 (tree accuracy by type × hardness, 3 variants) at
+//! Quick scale and times one greedy decode.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::{exp_fig17, train_and_evaluate};
+use nv_bench::{context, Scale};
+use nvbench::core::Nl2VisPredictor;
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    let reports = train_and_evaluate(ctx, Scale::Quick);
+    println!("{}", exp_fig17(&reports));
+    let pair = &ctx.bench.pairs[ctx.split.test[0]];
+    let vis = &ctx.bench.vis_objects[pair.vis_id];
+    let db = ctx.bench.database(&vis.db_name).unwrap();
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(20);
+    g.bench_function("exp_fig17_decode_one", |b| {
+        b.iter(|| reports[1].0.predict(&pair.nl, db))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,20 @@
+//! Regenerates Figure 18 (effect of injecting low-rated pairs) at Quick
+//! scale and times the low-rated-pair identification study.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_fig18;
+use nv_bench::{context, Scale};
+use nvbench::eval::{run_study, StudyConfig};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    println!("{}", exp_fig18(ctx, Scale::Quick));
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_fig18_study", |b| {
+        b.iter(|| run_study(&ctx.bench, &StudyConfig { sample_frac: 1.0, ..Default::default() }))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

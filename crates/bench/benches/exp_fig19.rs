@@ -1,0 +1,29 @@
+//! Regenerates Figure 19 (COVID-19 case study) at Quick scale and times the
+//! six-query prediction pass.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_fig19;
+use nv_bench::{context, train_variant, Scale};
+use nvbench::core::Nl2VisPredictor;
+use nvbench::nn::ModelVariant;
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    let (model, _) = train_variant(ctx, Scale::Quick, ModelVariant::Attention);
+    println!("{}", exp_fig19(&model, ctx));
+    let db = nvbench::spider::covid_database(42);
+    let cases = nvbench::spider::covid_cases();
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_fig19_predict6", |b| {
+        b.iter(|| {
+            cases
+                .iter()
+                .filter(|case| model.predict(&case.nl, &db).is_some())
+                .count()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

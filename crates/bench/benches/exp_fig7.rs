@@ -1,0 +1,14 @@
+//! Regenerates the Figure-7 TPC-style chart filtering sanity check.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_fig7;
+
+fn bench(c: &mut Criterion) {
+    println!("{}", exp_fig7());
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(20);
+    g.bench_function("exp_fig7", |b| b.iter(exp_fig7));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,17 @@
+//! Regenerates the paper's table2 artifact (Quick scale) and
+//! times the computation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_table2;
+use nv_bench::{context, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    println!("{}", exp_table2(ctx));
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_table2", |b| b.iter(|| exp_table2(ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,23 @@
+//! Regenerates Table 4 (vis component matching accuracy) at Quick scale:
+//! trains the three seq2vis variants once, prints the table, and times the
+//! component-metric evaluation pass.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::{exp_table4, train_and_evaluate};
+use nv_bench::{context, Scale};
+use nvbench::seq2vis::evaluate;
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    let reports = train_and_evaluate(ctx, Scale::Quick);
+    println!("{}", exp_table4(&reports));
+    let idx = ctx.test_idx(Scale::Quick);
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_table4_eval", |b| {
+        b.iter(|| evaluate(&reports[1].0, &ctx.bench, &idx))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

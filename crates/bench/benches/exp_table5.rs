@@ -1,0 +1,25 @@
+//! Regenerates Table 5 (seq2vis vs DeepEye vs NL4DV) at Quick scale and
+//! times the baseline evaluation.
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::{exp_table5, train_and_evaluate};
+use nv_bench::{context, Scale};
+use nvbench::baselines::DeepEyeBaseline;
+use nvbench::seq2vis::evaluate_top_k;
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    let mut reports = train_and_evaluate(ctx, Scale::Quick);
+    let attn = reports.remove(1);
+    println!("{}", exp_table5(ctx, Scale::Quick, &attn));
+    let idx = ctx.test_idx(Scale::Quick);
+    let deepeye = DeepEyeBaseline::new(42);
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_table5_deepeye_top6", |b| {
+        b.iter(|| evaluate_top_k(&deepeye, &ctx.bench, &idx, 6))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Regenerates the §4.2 value-filling accuracy (paper ~92.3%).
+use criterion::{criterion_group, criterion_main, Criterion};
+use nv_bench::experiments::exp_values;
+use nv_bench::{context, Scale};
+
+fn bench(c: &mut Criterion) {
+    let ctx = context(Scale::Quick);
+    println!("{}", exp_values(ctx));
+    let mut g = c.benchmark_group("paper");
+    g.sample_size(10);
+    g.bench_function("exp_values", |b| b.iter(|| exp_values(ctx)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

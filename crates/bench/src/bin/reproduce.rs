@@ -1,0 +1,67 @@
+//! Regenerate every paper table and figure at Full scale and print the
+//! combined report (tee it into EXPERIMENTS-style records):
+//!
+//! ```text
+//! cargo run -p nv-bench --release --bin reproduce            # everything
+//! cargo run -p nv-bench --release --bin reproduce -- quick   # quick scale
+//! cargo run -p nv-bench --release --bin reproduce -- data    # skip training
+//! ```
+
+use nv_bench::experiments::*;
+use nv_bench::{context, Scale};
+use std::time::Instant;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let scale = if args.iter().any(|a| a == "quick") { Scale::Quick } else { Scale::Full };
+    let data_only = args.iter().any(|a| a == "data");
+
+    let t0 = Instant::now();
+    println!("=== nvBench reproduction — scale {scale:?} ===\n");
+    let ctx = context(scale);
+    println!(
+        "[setup] corpus: {} databases, {} (nl,sql) pairs → benchmark: {} vis, {} (nl,vis) pairs ({:.1}s)\n",
+        ctx.corpus.databases.len(),
+        ctx.corpus.pairs.len(),
+        ctx.bench.vis_objects.len(),
+        ctx.bench.pairs.len(),
+        t0.elapsed().as_secs_f64()
+    );
+
+    let section = |name: &str, body: String| {
+        println!("----------------------------------------------------------------");
+        println!("{body}");
+        let _ = name;
+    };
+
+    section("table2", exp_table2(ctx));
+    section("table3", exp_table3(ctx));
+    section("fig7", exp_fig7());
+    section("fig8", exp_fig8(ctx));
+    section("fig9", exp_fig9(ctx));
+    section("fig10", exp_fig10(ctx));
+    section("fig12", exp_fig12(ctx));
+    section("fig13", exp_fig13(ctx));
+    section("fig14", exp_fig14(ctx));
+    section("fig16", exp_fig16(ctx));
+    section("values", exp_values(ctx));
+
+    if data_only {
+        println!("(skipping model training: 'data' flag)");
+        return;
+    }
+
+    let t1 = Instant::now();
+    println!("----------------------------------------------------------------");
+    println!("[training] three seq2vis variants…");
+    let reports = train_and_evaluate(ctx, scale);
+    println!("[training] done in {:.1}s\n", t1.elapsed().as_secs_f64());
+
+    section("fig17", exp_fig17(&reports));
+    section("table4", exp_table4(&reports));
+    section("table5", exp_table5(ctx, scale, &reports[1]));
+    section("fig19", exp_fig19(&reports[1].0, ctx));
+    section("fig18", exp_fig18(ctx, scale));
+
+    println!("=== total {:.1}s ===", t0.elapsed().as_secs_f64());
+}

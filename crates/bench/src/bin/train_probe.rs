@@ -1,0 +1,84 @@
+//! Training diagnostics: learning curve + accuracy of one seq2vis variant
+//! on the Quick-scale benchmark, with configurable epochs/train size.
+//!
+//! ```text
+//! cargo run -p nv-bench --release --bin train_probe -- [epochs] [train_cap] [variant]
+//! ```
+
+use nv_bench::{context, Scale};
+use nvbench::core::Nl2VisPredictor;
+use nvbench::nn::ModelVariant;
+use nvbench::seq2vis::{evaluate, Seq2Vis, Seq2VisConfig};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let epochs: usize = args.first().and_then(|a| a.parse().ok()).unwrap_or(12);
+    let cap: usize = args.get(1).and_then(|a| a.parse().ok()).unwrap_or(usize::MAX);
+    let variant = match args.get(2).map(String::as_str) {
+        Some("basic") => ModelVariant::Basic,
+        Some("copy") => ModelVariant::Copy,
+        _ => ModelVariant::Attention,
+    };
+
+    let ctx = context(Scale::Quick);
+    println!(
+        "benchmark: {} vis / {} pairs; train {} val {} test {}",
+        ctx.bench.vis_objects.len(),
+        ctx.bench.pairs.len(),
+        ctx.split.train.len(),
+        ctx.split.val.len(),
+        ctx.split.test.len()
+    );
+
+    let cfg = Seq2VisConfig {
+        max_epochs: epochs,
+        patience: epochs,
+        ..Seq2VisConfig::new(variant)
+    };
+    let (mut model, dataset) = Seq2Vis::prepare(&ctx.bench, cfg);
+    println!("vocab {} tokens, {} parameters", model.vocab.len(), model.n_parameters());
+
+    let train_idx: Vec<usize> = ctx.split.train.iter().copied().take(cap).collect();
+    let train = dataset.subset(&train_idx);
+    let val = dataset.subset(&ctx.split.val);
+    let t0 = std::time::Instant::now();
+    let report = model.train_on(&train, &val);
+    println!(
+        "trained {} epochs in {:.1}s; losses: {:?}",
+        report.epochs_run,
+        t0.elapsed().as_secs_f64(),
+        report
+            .train_losses
+            .iter()
+            .zip(&report.val_losses)
+            .map(|(t, v)| format!("{t:.2}/{v:.2}"))
+            .collect::<Vec<_>>()
+    );
+
+    let idx = ctx.test_idx(Scale::Quick);
+    let eval = evaluate(&model, &ctx.bench, &idx);
+    println!(
+        "test: tree {:.1}% result {:.1}% over {} pairs",
+        eval.tree_accuracy() * 100.0,
+        eval.result_accuracy() * 100.0,
+        eval.n()
+    );
+    let comp = eval.component_accuracy();
+    println!("components: {comp:?}");
+
+    // Show a few predictions vs gold.
+    for &pi in idx.iter().take(5) {
+        let pair = &ctx.bench.pairs[pi];
+        let vis = &ctx.bench.vis_objects[pair.vis_id];
+        let db = ctx.bench.database(&vis.db_name).unwrap();
+        println!("\nNL  : {}", pair.nl);
+        println!("gold: {}", vis.vql);
+        match model.predict(&pair.nl, db) {
+            Some(t) => println!("pred: {}", t.to_vql()),
+            None => println!(
+                "pred: <unparseable> {:?}",
+                model.predict_tokens(&pair.nl, db).join(" ")
+            ),
+        }
+    }
+}

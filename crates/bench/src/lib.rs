@@ -1,0 +1,11 @@
+//! # nv-bench — the experiment harness
+//!
+//! One experiment per paper table/figure (see DESIGN.md's per-experiment
+//! index). Criterion benches under `benches/` time the Quick-scale
+//! computation and print the regenerated rows; the `reproduce` binary runs
+//! everything at Full scale and writes the EXPERIMENTS-style report.
+
+pub mod context;
+pub mod experiments;
+
+pub use context::{context, train_variant, Context, Scale};

@@ -1,0 +1,141 @@
+//! Benchmark (de)serialization: save a synthesized NvBench to JSON and load
+//! it back — the release format a downstream consumer (or a training
+//! pipeline on another machine) would use.
+
+use crate::benchmark::{NlVisPair, NvBench, VisObject};
+use nv_data::Database;
+use serde::{Deserialize, Serialize};
+
+/// Versioned on-disk envelope.
+#[derive(Debug, Serialize, Deserialize)]
+struct Envelope {
+    format: String,
+    version: u32,
+    databases: Vec<Database>,
+    vis_objects: Vec<VisObject>,
+    pairs: Vec<NlVisPair>,
+}
+
+const FORMAT: &str = "nvbench-rs";
+const VERSION: u32 = 1;
+
+/// Serialization/IO error.
+#[derive(Debug)]
+pub enum IoError {
+    Json(String),
+    BadFormat(String),
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Json(m) => write!(f, "benchmark JSON error: {m}"),
+            IoError::BadFormat(m) => write!(f, "bad benchmark file: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+/// Serialize a benchmark to a JSON string.
+pub fn to_json(bench: &NvBench) -> Result<String, IoError> {
+    let env = Envelope {
+        format: FORMAT.into(),
+        version: VERSION,
+        databases: bench.databases.clone(),
+        vis_objects: bench.vis_objects.clone(),
+        pairs: bench.pairs.clone(),
+    };
+    serde_json::to_string(&env).map_err(|e| IoError::Json(e.to_string()))
+}
+
+/// Load a benchmark from a JSON string, validating the envelope and the
+/// internal index invariants.
+pub fn from_json(json: &str) -> Result<NvBench, IoError> {
+    let env: Envelope =
+        serde_json::from_str(json).map_err(|e| IoError::Json(e.to_string()))?;
+    if env.format != FORMAT {
+        return Err(IoError::BadFormat(format!("unknown format '{}'", env.format)));
+    }
+    if env.version != VERSION {
+        return Err(IoError::BadFormat(format!(
+            "unsupported version {} (expected {VERSION})",
+            env.version
+        )));
+    }
+    // Integrity checks: dense ids and valid cross-references.
+    for (i, v) in env.vis_objects.iter().enumerate() {
+        if v.vis_id != i {
+            return Err(IoError::BadFormat(format!("vis id {} at index {i}", v.vis_id)));
+        }
+        if !env
+            .databases
+            .iter()
+            .any(|d| d.name.eq_ignore_ascii_case(&v.db_name))
+        {
+            return Err(IoError::BadFormat(format!("vis {} references unknown db {}", i, v.db_name)));
+        }
+    }
+    for (i, p) in env.pairs.iter().enumerate() {
+        if p.pair_id != i || p.vis_id >= env.vis_objects.len() {
+            return Err(IoError::BadFormat(format!("bad pair at index {i}")));
+        }
+    }
+    Ok(NvBench {
+        databases: env.databases,
+        vis_objects: env.vis_objects,
+        pairs: env.pairs,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Nl2SqlToNl2Vis, SynthesizerConfig};
+    use nv_spider::{CorpusConfig, SpiderCorpus};
+
+    fn bench() -> NvBench {
+        let corpus = SpiderCorpus::generate(&CorpusConfig::small(19));
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+    }
+
+    #[test]
+    fn round_trips_fully() {
+        let b = bench();
+        let json = to_json(&b).unwrap();
+        let back = from_json(&json).unwrap();
+        assert_eq!(back.pairs, b.pairs);
+        assert_eq!(back.vis_objects.len(), b.vis_objects.len());
+        assert_eq!(back.databases, b.databases);
+        // Trees survive (vql strings and parsed trees both).
+        for (a, c) in b.vis_objects.iter().zip(&back.vis_objects) {
+            assert_eq!(a.tree, c.tree);
+            assert_eq!(a.vql, c.vql);
+            assert_eq!(a.hardness, c.hardness);
+        }
+        // And the loaded benchmark is immediately usable.
+        let split = back.split(42);
+        assert_eq!(split.len(), back.pairs.len());
+    }
+
+    #[test]
+    fn rejects_corrupt_envelopes() {
+        let b = bench();
+        let json = to_json(&b).unwrap();
+        assert!(from_json("{}").is_err());
+        assert!(from_json("not json").is_err());
+        let wrong_fmt = json.replacen("nvbench-rs", "other-fmt", 1);
+        assert!(matches!(from_json(&wrong_fmt), Err(IoError::BadFormat(_))));
+        let wrong_ver = json.replacen("\"version\":1", "\"version\":9", 1);
+        assert!(matches!(from_json(&wrong_ver), Err(IoError::BadFormat(_))));
+    }
+
+    #[test]
+    fn detects_dangling_references() {
+        let mut b = bench();
+        b.pairs[0].vis_id = 99_999;
+        let json = to_json(&b).unwrap();
+        let e = from_json(&json).unwrap_err();
+        assert!(e.to_string().contains("bad pair"), "{e}");
+    }
+}

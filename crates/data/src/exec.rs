@@ -1,0 +1,1124 @@
+//! Query executor: evaluates a unified AST (the *what data* part of a SQL or
+//! VIS tree) against a [`Database`].
+//!
+//! Supports the full Figure-5 grammar: projection with aggregates
+//! (max/min/count/sum/avg, DISTINCT), hash equi-joins, WHERE filters with
+//! and/or, between, (not) like, (not) in, nested subqueries, HAVING
+//! (aggregated filter leaves are applied after grouping), GROUP BY, temporal
+//! and numeric binning, ORDER BY, superlatives (`top k by A`), and
+//! INTERSECT / UNION / EXCEPT with SQL set semantics.
+//!
+//! The executor powers three things downstream: chart-data rendering
+//! (`nv-render`), "result matching accuracy" for seq2vis, and DeepEye
+//! feature extraction (`nv-quality`).
+
+use crate::schema::ColumnType;
+use crate::table::Database;
+use crate::value::Value;
+use nv_ast::*;
+use std::collections::{HashMap, HashSet};
+
+/// Errors raised during execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    UnknownTable(String),
+    UnknownColumn(String),
+    TypeError(String),
+    Unsupported(String),
+    ArityMismatch { left: usize, right: usize },
+}
+
+impl std::fmt::Display for ExecError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExecError::UnknownTable(t) => write!(f, "unknown table '{t}'"),
+            ExecError::UnknownColumn(c) => write!(f, "unknown column '{c}'"),
+            ExecError::TypeError(m) => write!(f, "type error: {m}"),
+            ExecError::Unsupported(m) => write!(f, "unsupported: {m}"),
+            ExecError::ArityMismatch { left, right } => {
+                write!(f, "set-op arity mismatch: {left} vs {right}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {}
+
+/// The output of a query: named, typed columns plus rows.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResultSet {
+    /// Display names, e.g. `["flight.destination", "count(flight.*)"]`.
+    pub columns: Vec<String>,
+    pub types: Vec<ColumnType>,
+    pub rows: Vec<Vec<Value>>,
+}
+
+impl ResultSet {
+    /// Order-insensitive, float-tolerant equality — the paper's "vis result
+    /// matching": two queries match if they produce the same data, even when
+    /// their ASTs differ.
+    pub fn data_eq(&self, other: &ResultSet) -> bool {
+        if self.columns.len() != other.columns.len() || self.rows.len() != other.rows.len() {
+            return false;
+        }
+        let norm = |rs: &ResultSet| -> Vec<Vec<String>> {
+            let mut rows: Vec<Vec<String>> = rs
+                .rows
+                .iter()
+                .map(|r| r.iter().map(norm_value).collect())
+                .collect();
+            rows.sort();
+            rows
+        };
+        norm(self) == norm(other)
+    }
+}
+
+fn norm_value(v: &Value) -> String {
+    match v.as_f64() {
+        // Round to 6 significant decimals so float-path vs int-path
+        // aggregates compare equal.
+        Some(f) => format!("{:.6}", f),
+        None => v.label(),
+    }
+}
+
+/// Execute a query against a database, ignoring any `Visualize` node.
+pub fn execute(db: &Database, q: &VisQuery) -> Result<ResultSet, ExecError> {
+    execute_set(db, &q.query)
+}
+
+fn execute_set(db: &Database, q: &SetQuery) -> Result<ResultSet, ExecError> {
+    match q {
+        SetQuery::Simple(b) => execute_body(db, b),
+        SetQuery::Compound { op, left, right } => {
+            let l = execute_body(db, left)?;
+            let r = execute_body(db, right)?;
+            if l.columns.len() != r.columns.len() {
+                return Err(ExecError::ArityMismatch {
+                    left: l.columns.len(),
+                    right: r.columns.len(),
+                });
+            }
+            let lset: HashSet<Vec<Value>> = l.rows.iter().cloned().collect();
+            let rset: HashSet<Vec<Value>> = r.rows.iter().cloned().collect();
+            let mut rows: Vec<Vec<Value>> = match op {
+                SetOp::Intersect => lset.intersection(&rset).cloned().collect(),
+                SetOp::Union => lset.union(&rset).cloned().collect(),
+                SetOp::Except => lset.difference(&rset).cloned().collect(),
+            };
+            rows.sort_by(|a, b| cmp_rows(a, b));
+            Ok(ResultSet { columns: l.columns, types: l.types, rows })
+        }
+    }
+}
+
+fn cmp_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
+    for (x, y) in a.iter().zip(b) {
+        let c = x.total_cmp(y);
+        if c != std::cmp::Ordering::Equal {
+            return c;
+        }
+    }
+    std::cmp::Ordering::Equal
+}
+
+/// An intermediate relation with qualified column names.
+struct Relation {
+    cols: Vec<String>,
+    types: Vec<ColumnType>,
+    rows: Vec<Vec<Value>>,
+}
+
+impl Relation {
+    /// Resolve a column reference: exact `table.column` match first, then a
+    /// unique unqualified match (lenient mode helps score model-predicted
+    /// trees whose table attribution is off).
+    fn col_idx(&self, c: &ColumnRef) -> Result<usize, ExecError> {
+        let want = format!("{}.{}", c.table, c.column).to_lowercase();
+        if let Some(i) = self.cols.iter().position(|n| n.to_lowercase() == want) {
+            return Ok(i);
+        }
+        let suffix = format!(".{}", c.column.to_lowercase());
+        let matches: Vec<usize> = self
+            .cols
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.to_lowercase().ends_with(&suffix))
+            .map(|(i, _)| i)
+            .collect();
+        match matches.as_slice() {
+            [one] => Ok(*one),
+            _ => Err(ExecError::UnknownColumn(c.to_token())),
+        }
+    }
+}
+
+fn load_table(db: &Database, name: &str) -> Result<Relation, ExecError> {
+    let t = db
+        .table(name)
+        .ok_or_else(|| ExecError::UnknownTable(name.to_string()))?;
+    Ok(Relation {
+        cols: t
+            .schema
+            .columns
+            .iter()
+            .map(|c| format!("{}.{}", t.name(), c.name))
+            .collect(),
+        types: t.schema.columns.iter().map(|c| c.ctype).collect(),
+        rows: t.rows.clone(),
+    })
+}
+
+fn build_from(db: &Database, body: &QueryBody) -> Result<Relation, ExecError> {
+    let first = body
+        .from
+        .first()
+        .ok_or_else(|| ExecError::Unsupported("empty FROM".into()))?;
+    let mut rel = load_table(db, first)?;
+    let mut joined: HashSet<String> = HashSet::new();
+    joined.insert(first.to_lowercase());
+
+    // Tables introduced by join conditions, in order.
+    for (i, table) in body.from.iter().enumerate().skip(1) {
+        let right = load_table(db, table)?;
+        // Find a join condition connecting the new table to the current
+        // relation.
+        let cond = body.joins.iter().find(|j| {
+            let lt = j.left.table.to_lowercase();
+            let rt = j.right.table.to_lowercase();
+            (rt == table.to_lowercase() && joined.contains(&lt))
+                || (lt == table.to_lowercase() && joined.contains(&rt))
+        });
+        rel = match cond {
+            Some(j) => {
+                let (rel_side, new_side) =
+                    if j.right.table.eq_ignore_ascii_case(table) { (&j.left, &j.right) } else { (&j.right, &j.left) };
+                hash_join(rel, right, rel_side, new_side)?
+            }
+            None if body.joins.is_empty() => cross_join(rel, right),
+            None => {
+                return Err(ExecError::Unsupported(format!(
+                    "no join condition connects table '{table}' (position {i})"
+                )))
+            }
+        };
+        joined.insert(table.to_lowercase());
+    }
+    Ok(rel)
+}
+
+fn cross_join(l: Relation, r: Relation) -> Relation {
+    let mut cols = l.cols;
+    cols.extend(r.cols);
+    let mut types = l.types;
+    types.extend(r.types);
+    let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+    for lr in &l.rows {
+        for rr in &r.rows {
+            let mut row = lr.clone();
+            row.extend(rr.iter().cloned());
+            rows.push(row);
+        }
+    }
+    Relation { cols, types, rows }
+}
+
+fn hash_join(
+    l: Relation,
+    r: Relation,
+    lkey: &ColumnRef,
+    rkey: &ColumnRef,
+) -> Result<Relation, ExecError> {
+    let li = l.col_idx(lkey)?;
+    let ri = r.col_idx(rkey)?;
+    let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
+    for (i, row) in r.rows.iter().enumerate() {
+        if !row[ri].is_null() {
+            index.entry(&row[ri]).or_default().push(i);
+        }
+    }
+    let mut rows = Vec::new();
+    for lr in &l.rows {
+        if let Some(matches) = index.get(&lr[li]) {
+            for &m in matches {
+                let mut row = lr.clone();
+                row.extend(r.rows[m].iter().cloned());
+                rows.push(row);
+            }
+        }
+    }
+    let mut cols = l.cols;
+    cols.extend(r.cols);
+    let mut types = l.types;
+    types.extend(r.types);
+    Ok(Relation { cols, types, rows })
+}
+
+/// Does any leaf of the predicate reference an aggregated attribute?
+fn pred_has_agg(p: &Predicate) -> bool {
+    let mut found = false;
+    p.for_each_leaf(&mut |leaf| {
+        let attr = match leaf {
+            Predicate::Cmp { attr, .. }
+            | Predicate::Between { attr, .. }
+            | Predicate::Like { attr, .. }
+            | Predicate::In { attr, .. } => attr,
+            _ => return,
+        };
+        if attr.is_aggregated() {
+            found = true;
+        }
+    });
+    found
+}
+
+/// Split a predicate into (pre-group WHERE, post-group HAVING) by walking
+/// the top-level AND chain.
+fn split_where_having(p: Predicate) -> (Option<Predicate>, Option<Predicate>) {
+    match p {
+        Predicate::And(l, r) => {
+            let (lw, lh) = split_where_having(*l);
+            let (rw, rh) = split_where_having(*r);
+            (Predicate::and_opt(lw, rw), Predicate::and_opt(lh, rh))
+        }
+        other => {
+            if pred_has_agg(&other) {
+                (None, Some(other))
+            } else {
+                (Some(other), None)
+            }
+        }
+    }
+}
+
+fn eval_pred_row(
+    db: &Database,
+    rel: &Relation,
+    row: &[Value],
+    p: &Predicate,
+) -> Result<bool, ExecError> {
+    match p {
+        Predicate::And(l, r) => {
+            Ok(eval_pred_row(db, rel, row, l)? && eval_pred_row(db, rel, row, r)?)
+        }
+        Predicate::Or(l, r) => {
+            Ok(eval_pred_row(db, rel, row, l)? || eval_pred_row(db, rel, row, r)?)
+        }
+        Predicate::Cmp { op, attr, rhs } => {
+            let v = row_attr_value(rel, row, attr)?;
+            let rv = operand_values(db, rhs)?;
+            let Some(first) = rv.first() else { return Ok(false) };
+            Ok(cmp_values(&v, first, *op))
+        }
+        Predicate::Between { attr, low, high } => {
+            let v = row_attr_value(rel, row, attr)?;
+            let lo = operand_values(db, low)?;
+            let hi = operand_values(db, high)?;
+            match (lo.first(), hi.first()) {
+                (Some(lo), Some(hi)) => {
+                    Ok(cmp_values(&v, lo, CmpOp::Ge) && cmp_values(&v, hi, CmpOp::Le))
+                }
+                _ => Ok(false),
+            }
+        }
+        Predicate::Like { attr, pattern, negated } => {
+            let v = row_attr_value(rel, row, attr)?;
+            if v.is_null() {
+                return Ok(false);
+            }
+            let m = v.like(pattern);
+            Ok(m != *negated)
+        }
+        Predicate::In { attr, rhs, negated } => {
+            let v = row_attr_value(rel, row, attr)?;
+            if v.is_null() {
+                return Ok(false);
+            }
+            let vals = operand_values(db, rhs)?;
+            let m = vals.iter().any(|x| v.sql_eq(x));
+            Ok(m != *negated)
+        }
+    }
+}
+
+fn cmp_values(a: &Value, b: &Value, op: CmpOp) -> bool {
+    use std::cmp::Ordering::*;
+    match a.sql_cmp(b) {
+        None => false,
+        Some(ord) => match op {
+            CmpOp::Eq => ord == Equal,
+            CmpOp::Ne => ord != Equal,
+            CmpOp::Lt => ord == Less,
+            CmpOp::Le => ord != Greater,
+            CmpOp::Gt => ord == Greater,
+            CmpOp::Ge => ord != Less,
+        },
+    }
+}
+
+fn row_attr_value(rel: &Relation, row: &[Value], attr: &Attr) -> Result<Value, ExecError> {
+    if attr.is_aggregated() {
+        return Err(ExecError::Unsupported(
+            "aggregate in row-level predicate (belongs to HAVING)".into(),
+        ));
+    }
+    let i = rel.col_idx(&attr.col)?;
+    Ok(row[i].clone())
+}
+
+/// Literal operands become one value; lists become many; subqueries execute
+/// and contribute their first column.
+fn operand_values(db: &Database, o: &Operand) -> Result<Vec<Value>, ExecError> {
+    match o {
+        Operand::Lit(l) => Ok(vec![Value::from_literal(l)]),
+        Operand::List(ls) => Ok(ls.iter().map(Value::from_literal).collect()),
+        Operand::Subquery(q) => {
+            let rs = execute_set(db, q)?;
+            Ok(rs.rows.iter().filter_map(|r| r.first().cloned()).collect())
+        }
+    }
+}
+
+/// Binning context for numeric columns: equal-width buckets,
+/// `bin_size = ceil((max - min) / n_bins)` (paper §2.3, default 10 bins).
+struct NumericBins {
+    min: f64,
+    size: f64,
+}
+
+impl NumericBins {
+    fn from_values(vals: impl Iterator<Item = f64>, n_bins: u32) -> NumericBins {
+        let mut min = f64::INFINITY;
+        let mut max = f64::NEG_INFINITY;
+        for v in vals {
+            min = min.min(v);
+            max = max.max(v);
+        }
+        if !min.is_finite() || !max.is_finite() {
+            return NumericBins { min: 0.0, size: 1.0 };
+        }
+        let size = ((max - min) / f64::from(n_bins)).ceil().max(1.0);
+        NumericBins { min, size }
+    }
+
+    fn bucket(&self, v: f64) -> (i64, Value) {
+        let idx = ((v - self.min) / self.size).floor() as i64;
+        let lo = self.min + idx as f64 * self.size;
+        let hi = lo + self.size;
+        let label = format!("{}-{}", trim_f(lo), trim_f(hi));
+        (idx, Value::Text(label))
+    }
+}
+
+fn trim_f(f: f64) -> String {
+    if f.fract() == 0.0 && f.abs() < 1e15 {
+        format!("{}", f as i64)
+    } else {
+        format!("{f:.2}")
+    }
+}
+
+/// Compute the (ordinal, label) of a value under a bin unit.
+fn bin_value(v: &Value, unit: BinUnit, num: Option<&NumericBins>) -> (i64, Value) {
+    if v.is_null() {
+        return (i64::MIN, Value::Null);
+    }
+    match unit {
+        BinUnit::Numeric { .. } => match (v.as_f64(), num) {
+            (Some(f), Some(nb)) => nb.bucket(f),
+            _ => (i64::MIN, Value::Null),
+        },
+        temporal => match v.as_time() {
+            None => (i64::MIN, Value::Null),
+            Some(t) => match temporal {
+                BinUnit::Minute => (i64::from(t.minute), Value::Int(i64::from(t.minute))),
+                BinUnit::Hour => (i64::from(t.hour), Value::Int(i64::from(t.hour))),
+                BinUnit::Weekday => {
+                    (i64::from(t.weekday()), Value::text(t.weekday_name()))
+                }
+                BinUnit::Month => (i64::from(t.month), Value::text(t.month_name())),
+                BinUnit::Quarter => {
+                    (i64::from(t.quarter()), Value::text(format!("Q{}", t.quarter())))
+                }
+                BinUnit::Year => (i64::from(t.year), Value::Int(i64::from(t.year))),
+                BinUnit::Numeric { .. } => unreachable!(),
+            },
+        },
+    }
+}
+
+fn agg_over(agg: AggFunc, distinct: bool, vals: &[Value]) -> Value {
+    let nonnull: Vec<&Value> = vals.iter().filter(|v| !v.is_null()).collect();
+    let pool: Vec<&Value> = if distinct {
+        let mut seen = HashSet::new();
+        nonnull.into_iter().filter(|v| seen.insert(*v)).collect()
+    } else {
+        nonnull
+    };
+    match agg {
+        AggFunc::Count => Value::Int(pool.len() as i64),
+        AggFunc::Max => pool
+            .iter()
+            .cloned()
+            .max_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Min => pool
+            .iter()
+            .cloned()
+            .min_by(|a, b| a.total_cmp(b))
+            .cloned()
+            .unwrap_or(Value::Null),
+        AggFunc::Sum => {
+            let mut s = 0.0;
+            let mut any = false;
+            let mut all_int = true;
+            for v in &pool {
+                if let Some(f) = v.as_f64() {
+                    s += f;
+                    any = true;
+                    all_int &= matches!(v, Value::Int(_) | Value::Bool(_));
+                }
+            }
+            if !any {
+                Value::Null
+            } else if all_int {
+                Value::Int(s as i64)
+            } else {
+                Value::Float(s)
+            }
+        }
+        AggFunc::Avg => {
+            let nums: Vec<f64> = pool.iter().filter_map(|v| v.as_f64()).collect();
+            if nums.is_empty() {
+                Value::Null
+            } else {
+                Value::Float(nums.iter().sum::<f64>() / nums.len() as f64)
+            }
+        }
+        AggFunc::None => pool.first().cloned().cloned().unwrap_or(Value::Null),
+    }
+}
+
+/// Evaluate an attribute over a set of rows belonging to one group.
+fn group_attr_value(
+    rel: &Relation,
+    rows: &[&Vec<Value>],
+    attr: &Attr,
+) -> Result<Value, ExecError> {
+    if attr.agg == AggFunc::Count && attr.col.is_star() {
+        return Ok(Value::Int(rows.len() as i64));
+    }
+    let idx = rel.col_idx(&attr.col)?;
+    let vals: Vec<Value> = rows.iter().map(|r| r[idx].clone()).collect();
+    Ok(agg_over(attr.agg, attr.distinct, &vals))
+}
+
+fn eval_having(
+    db: &Database,
+    rel: &Relation,
+    rows: &[&Vec<Value>],
+    p: &Predicate,
+) -> Result<bool, ExecError> {
+    match p {
+        Predicate::And(l, r) => {
+            Ok(eval_having(db, rel, rows, l)? && eval_having(db, rel, rows, r)?)
+        }
+        Predicate::Or(l, r) => {
+            Ok(eval_having(db, rel, rows, l)? || eval_having(db, rel, rows, r)?)
+        }
+        Predicate::Cmp { op, attr, rhs } => {
+            let v = group_attr_value(rel, rows, attr)?;
+            let rv = operand_values(db, rhs)?;
+            let Some(first) = rv.first() else { return Ok(false) };
+            Ok(cmp_values(&v, first, *op))
+        }
+        Predicate::Between { attr, low, high } => {
+            let v = group_attr_value(rel, rows, attr)?;
+            let lo = operand_values(db, low)?;
+            let hi = operand_values(db, high)?;
+            match (lo.first(), hi.first()) {
+                (Some(lo), Some(hi)) => {
+                    Ok(cmp_values(&v, lo, CmpOp::Ge) && cmp_values(&v, hi, CmpOp::Le))
+                }
+                _ => Ok(false),
+            }
+        }
+        Predicate::Like { attr, pattern, negated } => {
+            let v = group_attr_value(rel, rows, attr)?;
+            Ok(!v.is_null() && (v.like(pattern) != *negated))
+        }
+        Predicate::In { attr, rhs, negated } => {
+            let v = group_attr_value(rel, rows, attr)?;
+            if v.is_null() {
+                return Ok(false);
+            }
+            let vals = operand_values(db, rhs)?;
+            Ok(vals.iter().any(|x| v.sql_eq(x)) != *negated)
+        }
+    }
+}
+
+fn attr_display(a: &Attr) -> String {
+    if a.agg == AggFunc::None {
+        a.col.to_token()
+    } else if a.distinct {
+        format!("{}(distinct {})", a.agg.keyword(), a.col.to_token())
+    } else {
+        format!("{}({})", a.agg.keyword(), a.col.to_token())
+    }
+}
+
+fn attr_out_type(rel: &Relation, a: &Attr) -> ColumnType {
+    match a.agg {
+        AggFunc::Count | AggFunc::Sum | AggFunc::Avg => ColumnType::Quantitative,
+        AggFunc::Max | AggFunc::Min | AggFunc::None => {
+            if a.col.is_star() {
+                ColumnType::Categorical
+            } else {
+                rel.col_idx(&a.col)
+                    .map(|i| rel.types[i])
+                    .unwrap_or(ColumnType::Categorical)
+            }
+        }
+    }
+}
+
+fn execute_body(db: &Database, body: &QueryBody) -> Result<ResultSet, ExecError> {
+    let rel = build_from(db, body)?;
+
+    let (where_p, having_p) = match body.filter.clone() {
+        Some(p) => split_where_having(p),
+        None => (None, None),
+    };
+
+    // WHERE
+    let mut rows: Vec<&Vec<Value>> = Vec::with_capacity(rel.rows.len());
+    for row in &rel.rows {
+        let keep = match &where_p {
+            Some(p) => eval_pred_row(db, &rel, row, p)?,
+            None => true,
+        };
+        if keep {
+            rows.push(row);
+        }
+    }
+
+    // Grouping plan.
+    let explicit_group = body.group.clone().filter(|g| !g.is_empty());
+    let has_agg = body.select.iter().any(Attr::is_aggregated) || having_p.is_some();
+    let grouped = explicit_group.is_some() || has_agg;
+
+    let columns: Vec<String> = body.select.iter().map(attr_display).collect();
+    let types: Vec<ColumnType> = body.select.iter().map(|a| attr_out_type(&rel, a)).collect();
+
+    let mut out_rows: Vec<(Vec<Value>, Option<Value>, Option<Value>)> = Vec::new();
+
+    if grouped {
+        // Key columns: explicit group-by + bin, or implicit (all bare select
+        // columns) when aggregates appear without GROUP BY.
+        let (key_cols, bin): (Vec<ColumnRef>, Option<BinSpec>) = match &explicit_group {
+            Some(g) => (g.group_by.clone(), g.bin.clone()),
+            None => (
+                body.select
+                    .iter()
+                    .filter(|a| !a.is_aggregated())
+                    .map(|a| a.col.clone())
+                    .collect(),
+                None,
+            ),
+        };
+        let key_idx: Vec<usize> = key_cols
+            .iter()
+            .map(|c| rel.col_idx(c))
+            .collect::<Result<_, _>>()?;
+        let bin_info: Option<(usize, BinUnit, Option<NumericBins>)> = match &bin {
+            Some(b) => {
+                let i = rel.col_idx(&b.col)?;
+                let numeric = match b.unit {
+                    BinUnit::Numeric { n_bins } => Some(NumericBins::from_values(
+                        rows.iter().filter_map(|r| r[i].as_f64()),
+                        n_bins,
+                    )),
+                    _ => None,
+                };
+                Some((i, b.unit, numeric))
+            }
+            None => None,
+        };
+
+        // Group rows by (bin ordinal, key values). Each group keeps its bin
+        // label plus the member rows.
+        type GroupKey = (i64, Vec<Value>);
+        type Group<'r> = (Value, Vec<&'r Vec<Value>>);
+        let mut groups: HashMap<GroupKey, Group> = HashMap::new();
+        for row in rows {
+            let (ord, label) = match &bin_info {
+                Some((i, unit, nb)) => bin_value(&row[*i], *unit, nb.as_ref()),
+                None => (0, Value::Null),
+            };
+            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+            groups
+                .entry((ord, key))
+                .or_insert_with(|| (label, Vec::new()))
+                .1
+                .push(row);
+        }
+        // SQL semantics: a global aggregate (no grouping keys) over empty
+        // input still yields one row (COUNT(*) = 0, SUM/AVG = NULL).
+        if groups.is_empty() && key_idx.is_empty() && bin_info.is_none() {
+            groups.insert((0, vec![]), (Value::Null, vec![]));
+        }
+        let mut entries: Vec<(GroupKey, Group)> = groups.into_iter().collect();
+        entries.sort_by(|a, b| a.0 .0.cmp(&b.0 .0).then_with(|| cmp_rows(&a.0 .1, &b.0 .1)));
+
+        let bin_col = bin.as_ref().map(|b| b.col.clone());
+        for ((_ord, key), (label, grows)) in entries {
+            if let Some(h) = &having_p {
+                if !eval_having(db, &rel, &grows, h)? {
+                    continue;
+                }
+            }
+            let mut out = Vec::with_capacity(body.select.len());
+            for a in &body.select {
+                // The binned column projects its bin label.
+                if a.agg == AggFunc::None && Some(&a.col) == bin_col.as_ref() {
+                    out.push(label.clone());
+                    continue;
+                }
+                // Grouping keys project the key value directly.
+                if a.agg == AggFunc::None {
+                    if let Some(pos) = key_cols.iter().position(|c| *c == a.col) {
+                        out.push(key[pos].clone());
+                        continue;
+                    }
+                }
+                out.push(group_attr_value(&rel, &grows, a)?);
+            }
+            let ord_v = match &body.order {
+                Some(o) => Some(order_value(&rel, &grows, &key_cols, &key, &o.attr)?),
+                None => None,
+            };
+            let sup_v = match &body.superlative {
+                Some(s) => Some(order_value(&rel, &grows, &key_cols, &key, &s.attr)?),
+                None => None,
+            };
+            out_rows.push((out, ord_v, sup_v));
+        }
+    } else {
+        let sel_idx: Vec<usize> = body
+            .select
+            .iter()
+            .map(|a| rel.col_idx(&a.col))
+            .collect::<Result<_, _>>()?;
+        for row in rows {
+            let out: Vec<Value> = sel_idx.iter().map(|&i| row[i].clone()).collect();
+            let ord_v = match &body.order {
+                Some(o) => Some(row[rel.col_idx(&o.attr.col)?].clone()),
+                None => None,
+            };
+            let sup_v = match &body.superlative {
+                Some(s) => Some(row[rel.col_idx(&s.attr.col)?].clone()),
+                None => None,
+            };
+            out_rows.push((out, ord_v, sup_v));
+        }
+    }
+
+    // Superlative first (it defines its own ordering + limit)…
+    if let Some(s) = &body.superlative {
+        out_rows.sort_by(|a, b| {
+            let av = a.2.as_ref().unwrap_or(&Value::Null);
+            let bv = b.2.as_ref().unwrap_or(&Value::Null);
+            let c = av.total_cmp(bv);
+            match s.dir {
+                SuperDir::Most => c.reverse(),
+                SuperDir::Least => c,
+            }
+        });
+        out_rows.truncate(s.k as usize);
+    }
+    // …then ORDER BY re-sorts the (possibly truncated) output.
+    if let Some(o) = &body.order {
+        out_rows.sort_by(|a, b| {
+            let av = a.1.as_ref().unwrap_or(&Value::Null);
+            let bv = b.1.as_ref().unwrap_or(&Value::Null);
+            let c = av.total_cmp(bv);
+            match o.dir {
+                OrderDir::Asc => c,
+                OrderDir::Desc => c.reverse(),
+            }
+        });
+    }
+
+    Ok(ResultSet {
+        columns,
+        types,
+        rows: out_rows.into_iter().map(|(r, _, _)| r).collect(),
+    })
+}
+
+/// Evaluate an order/superlative attribute for one group: aggregates compute
+/// over the group's rows; bare key columns read the key.
+fn order_value(
+    rel: &Relation,
+    grows: &[&Vec<Value>],
+    key_cols: &[ColumnRef],
+    key: &[Value],
+    attr: &Attr,
+) -> Result<Value, ExecError> {
+    if attr.agg == AggFunc::None {
+        if let Some(pos) = key_cols.iter().position(|c| *c == attr.col) {
+            return Ok(key[pos].clone());
+        }
+    }
+    group_attr_value(rel, grows, attr)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table::{table_from, Database};
+    use crate::value::Timestamp;
+    use nv_ast::tokens::parse_vql_str;
+
+    fn db() -> Database {
+        let mut db = Database::new("flights", "Flight");
+        db.add_table(table_from(
+            "flight",
+            &[
+                ("fno", ColumnType::Quantitative),
+                ("destination", ColumnType::Categorical),
+                ("price", ColumnType::Quantitative),
+                ("src", ColumnType::Quantitative),
+                ("departure", ColumnType::Temporal),
+            ],
+            vec![
+                vec![
+                    Value::Int(1),
+                    Value::text("LA"),
+                    Value::Int(300),
+                    Value::Int(10),
+                    Value::Time(Timestamp::date(2020, 1, 5)),
+                ],
+                vec![
+                    Value::Int(2),
+                    Value::text("LA"),
+                    Value::Int(450),
+                    Value::Int(10),
+                    Value::Time(Timestamp::date(2020, 2, 7)),
+                ],
+                vec![
+                    Value::Int(3),
+                    Value::text("NY"),
+                    Value::Int(200),
+                    Value::Int(11),
+                    Value::Time(Timestamp::date(2021, 2, 1)),
+                ],
+                vec![
+                    Value::Int(4),
+                    Value::text("NY"),
+                    Value::Int(700),
+                    Value::Int(12),
+                    Value::Time(Timestamp::date(2021, 7, 4)),
+                ],
+                vec![
+                    Value::Int(5),
+                    Value::text("SF"),
+                    Value::Int(120),
+                    Value::Int(10),
+                    Value::Time(Timestamp::date(2020, 1, 20)),
+                ],
+            ],
+        ));
+        db.add_table(table_from(
+            "airport",
+            &[
+                ("id", ColumnType::Quantitative),
+                ("name", ColumnType::Categorical),
+                ("city", ColumnType::Categorical),
+            ],
+            vec![
+                vec![Value::Int(10), Value::text("Alpha Intl"), Value::text("Austin")],
+                vec![Value::Int(11), Value::text("Beta Field"), Value::text("Boston")],
+                vec![Value::Int(12), Value::text("Gamma Intl"), Value::text("Chicago")],
+            ],
+        ));
+        db.add_foreign_key("flight", "src", "airport", "id");
+        db
+    }
+
+    fn run(vql: &str) -> ResultSet {
+        execute(&db(), &parse_vql_str(vql).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn simple_projection() {
+        let rs = run("select flight.destination , flight.price from flight");
+        assert_eq!(rs.columns, vec!["flight.destination", "flight.price"]);
+        assert_eq!(rs.rows.len(), 5);
+    }
+
+    #[test]
+    fn where_filter_and_like() {
+        let rs = run("select flight.fno from flight where flight.price > 250");
+        assert_eq!(rs.rows.len(), 3);
+        let rs = run(
+            "select airport.name from airport where airport.name like '%intl'",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        let rs = run(
+            "select airport.name from airport where airport.name not like '%intl'",
+        );
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn group_count() {
+        let rs = run(
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination",
+        );
+        assert_eq!(rs.rows.len(), 3);
+        let la = rs
+            .rows
+            .iter()
+            .find(|r| r[0] == Value::text("LA"))
+            .unwrap();
+        assert_eq!(la[1], Value::Int(2));
+        assert_eq!(rs.types[1], ColumnType::Quantitative);
+    }
+
+    #[test]
+    fn aggregates() {
+        let rs = run("select avg ( flight.price ) , sum ( flight.price ) , max ( flight.price ) , min ( flight.price ) from flight");
+        assert_eq!(rs.rows.len(), 1);
+        assert_eq!(rs.rows[0][0], Value::Float(354.0));
+        assert_eq!(rs.rows[0][1], Value::Int(1770));
+        assert_eq!(rs.rows[0][2], Value::Int(700));
+        assert_eq!(rs.rows[0][3], Value::Int(120));
+    }
+
+    #[test]
+    fn count_distinct() {
+        let rs = run("select count ( distinct flight.destination ) from flight");
+        assert_eq!(rs.rows[0][0], Value::Int(3));
+    }
+
+    #[test]
+    fn join_with_filter() {
+        let rs = run(
+            "select airport.city , count ( flight.* ) from flight \
+             join airport on flight.src = airport.id \
+             where flight.price >= 200 group by airport.city",
+        );
+        // Austin: flights 1,2 (300,450); Boston: flight 3 (200); Chicago: 4 (700).
+        assert_eq!(rs.rows.len(), 3);
+        let austin = rs.rows.iter().find(|r| r[0] == Value::text("Austin")).unwrap();
+        assert_eq!(austin[1], Value::Int(2));
+    }
+
+    #[test]
+    fn having_via_aggregated_filter() {
+        let rs = run(
+            "select flight.destination , count ( flight.* ) from flight \
+             where count ( flight.* ) >= 2 group by flight.destination",
+        );
+        assert_eq!(rs.rows.len(), 2); // LA and NY
+    }
+
+    #[test]
+    fn mixed_where_and_having() {
+        let rs = run(
+            "select flight.destination , count ( flight.* ) from flight \
+             where ( flight.price > 150 and count ( flight.* ) >= 2 ) \
+             group by flight.destination",
+        );
+        // price>150 leaves LA:2, NY:2 → both pass having.
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn order_by_and_superlative() {
+        let rs = run(
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination order by count ( flight.* ) desc",
+        );
+        assert_eq!(rs.rows[0][1], Value::Int(2));
+        let rs = run(
+            "select flight.fno , flight.price from flight top 2 by flight.price",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][1], Value::Int(700));
+        let rs = run(
+            "select flight.fno , flight.price from flight bottom 1 by flight.price",
+        );
+        assert_eq!(rs.rows[0][1], Value::Int(120));
+    }
+
+    #[test]
+    fn bin_by_year() {
+        let rs = run(
+            "select flight.departure , count ( flight.* ) from flight \
+             bin flight.departure by year",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        assert_eq!(rs.rows[0][0], Value::Int(2020));
+        assert_eq!(rs.rows[0][1], Value::Int(3));
+        assert_eq!(rs.rows[1][0], Value::Int(2021));
+    }
+
+    #[test]
+    fn bin_by_month_and_weekday_labels() {
+        let rs = run(
+            "select flight.departure , count ( flight.* ) from flight \
+             bin flight.departure by month",
+        );
+        // Months: Jan(2), Feb(2), Jul(1) — ordered by month ordinal.
+        assert_eq!(rs.rows[0][0], Value::text("January"));
+        assert_eq!(rs.rows[1][0], Value::text("February"));
+        assert_eq!(rs.rows[2][0], Value::text("July"));
+        let rs = run(
+            "select flight.departure , count ( flight.* ) from flight \
+             bin flight.departure by quarter",
+        );
+        assert_eq!(rs.rows[0][0], Value::text("Q1"));
+    }
+
+    #[test]
+    fn numeric_binning() {
+        let rs = run(
+            "select flight.price , count ( flight.* ) from flight \
+             bin flight.price by bucket_10",
+        );
+        // price range 120..700, size = ceil(580/10)=58.
+        assert!(rs.rows.len() >= 3);
+        let total: i64 = rs
+            .rows
+            .iter()
+            .map(|r| if let Value::Int(n) = r[1] { n } else { 0 })
+            .sum();
+        assert_eq!(total, 5);
+        assert!(matches!(&rs.rows[0][0], Value::Text(s) if s.contains('-')));
+    }
+
+    #[test]
+    fn set_ops() {
+        let union = run(
+            "select flight.destination from flight where flight.price > 400 \
+             union select flight.destination from flight where flight.price < 150",
+        );
+        // >400: LA, NY; <150: SF → 3 distinct.
+        assert_eq!(union.rows.len(), 3);
+        let inter = run(
+            "select flight.destination from flight where flight.price > 250 \
+             intersect select flight.destination from flight where flight.price < 250",
+        );
+        // >250: LA,NY; <250: NY,SF → NY.
+        assert_eq!(inter.rows.len(), 1);
+        assert_eq!(inter.rows[0][0], Value::text("NY"));
+        let exc = run(
+            "select flight.destination from flight \
+             except select flight.destination from flight where flight.price > 250",
+        );
+        assert_eq!(exc.rows.len(), 1);
+        assert_eq!(exc.rows[0][0], Value::text("SF"));
+    }
+
+    #[test]
+    fn subquery_in_and_scalar() {
+        let rs = run(
+            "select flight.fno from flight where flight.src in \
+             ( select airport.id from airport where airport.city = 'Austin' )",
+        );
+        assert_eq!(rs.rows.len(), 3);
+        let rs = run(
+            "select flight.fno from flight where flight.price > \
+             ( select avg ( flight.price ) from flight )",
+        );
+        assert_eq!(rs.rows.len(), 2); // 450 and 700 > 354
+    }
+
+    #[test]
+    fn in_list_and_between() {
+        let rs = run(
+            "select flight.fno from flight where flight.destination in ( 'LA' , 'SF' )",
+        );
+        assert_eq!(rs.rows.len(), 3);
+        let rs = run(
+            "select flight.fno from flight where flight.destination not in ( 'LA' , 'SF' )",
+        );
+        assert_eq!(rs.rows.len(), 2);
+        let rs = run(
+            "select flight.fno from flight where flight.price between 200 and 450",
+        );
+        assert_eq!(rs.rows.len(), 3);
+    }
+
+    #[test]
+    fn temporal_comparison_with_text_literal() {
+        let rs = run(
+            "select flight.fno from flight where flight.departure >= '2021-01-01'",
+        );
+        assert_eq!(rs.rows.len(), 2);
+    }
+
+    #[test]
+    fn result_data_eq_is_order_insensitive() {
+        let a = run(
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination order by count ( flight.* ) desc",
+        );
+        let b = run(
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination order by flight.destination asc",
+        );
+        assert!(a.data_eq(&b));
+        let c = run("select flight.destination from flight group by flight.destination");
+        assert!(!a.data_eq(&c));
+    }
+
+    #[test]
+    fn data_eq_float_int_tolerant() {
+        let a = ResultSet {
+            columns: vec!["x".into()],
+            types: vec![ColumnType::Quantitative],
+            rows: vec![vec![Value::Int(3)]],
+        };
+        let b = ResultSet {
+            columns: vec!["x".into()],
+            types: vec![ColumnType::Quantitative],
+            rows: vec![vec![Value::Float(3.0)]],
+        };
+        assert!(a.data_eq(&b));
+    }
+
+    #[test]
+    fn errors() {
+        let e = execute(&db(), &parse_vql_str("select ghost.a from ghost").unwrap());
+        assert!(matches!(e, Err(ExecError::UnknownTable(_))));
+        let e = execute(&db(), &parse_vql_str("select flight.ghost from flight").unwrap());
+        assert!(matches!(e, Err(ExecError::UnknownColumn(_))));
+        let e = execute(
+            &db(),
+            &parse_vql_str("select flight.fno from flight union select airport.id , airport.name from airport").unwrap(),
+        );
+        assert!(matches!(e, Err(ExecError::ArityMismatch { .. })));
+        assert!(ExecError::UnknownTable("x".into()).to_string().contains("x"));
+    }
+
+    #[test]
+    fn lenient_column_resolution() {
+        // "f.price" resolves because only one table has a 'price' column.
+        let rs = run("select flight.fno from flight where f.price > 600");
+        assert_eq!(rs.rows.len(), 1);
+    }
+
+    #[test]
+    fn implicit_group_by_bare_columns() {
+        // Aggregate + bare column without GROUP BY: implicit grouping.
+        let rs = run("select flight.destination , count ( flight.* ) from flight");
+        assert_eq!(rs.rows.len(), 3);
+    }
+}

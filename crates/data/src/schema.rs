@@ -1,0 +1,158 @@
+//! Schemas: columns with C/T/Q classes, tables, databases, foreign keys.
+
+use crate::value::Value;
+use serde::{Deserialize, Serialize};
+
+/// The nvBench column classes (paper Table 2: Categorical 68.78%, Temporal
+/// 11.58%, Quantitative 19.64%).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ColumnType {
+    Categorical,
+    Temporal,
+    Quantitative,
+}
+
+impl ColumnType {
+    pub fn letter(self) -> char {
+        match self {
+            ColumnType::Categorical => 'C',
+            ColumnType::Temporal => 'T',
+            ColumnType::Quantitative => 'Q',
+        }
+    }
+
+    /// Infer a column class from a sample of values: any timestamp-typed or
+    /// timestamp-parsable majority ⇒ Temporal; numeric majority ⇒
+    /// Quantitative; otherwise Categorical.
+    pub fn infer(values: &[Value]) -> ColumnType {
+        let mut time = 0usize;
+        let mut num = 0usize;
+        let mut nonnull = 0usize;
+        for v in values {
+            if v.is_null() {
+                continue;
+            }
+            nonnull += 1;
+            match v {
+                Value::Time(_) => time += 1,
+                Value::Text(s) if crate::value::Timestamp::parse(s).is_some() => time += 1,
+                Value::Int(_) | Value::Float(_) => num += 1,
+                _ => {}
+            }
+        }
+        if nonnull == 0 {
+            return ColumnType::Categorical;
+        }
+        if time * 2 > nonnull {
+            ColumnType::Temporal
+        } else if num * 2 > nonnull {
+            ColumnType::Quantitative
+        } else {
+            ColumnType::Categorical
+        }
+    }
+}
+
+impl std::fmt::Display for ColumnType {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.letter())
+    }
+}
+
+/// One column definition.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Column {
+    pub name: String,
+    pub ctype: ColumnType,
+}
+
+impl Column {
+    pub fn new(name: impl Into<String>, ctype: ColumnType) -> Column {
+        Column { name: name.into(), ctype }
+    }
+
+    pub fn categorical(name: impl Into<String>) -> Column {
+        Column::new(name, ColumnType::Categorical)
+    }
+
+    pub fn temporal(name: impl Into<String>) -> Column {
+        Column::new(name, ColumnType::Temporal)
+    }
+
+    pub fn quantitative(name: impl Into<String>) -> Column {
+        Column::new(name, ColumnType::Quantitative)
+    }
+}
+
+/// Schema of one table.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableSchema {
+    pub name: String,
+    pub columns: Vec<Column>,
+    /// Index of the primary-key column, if any.
+    pub primary_key: Option<usize>,
+}
+
+impl TableSchema {
+    pub fn new(name: impl Into<String>, columns: Vec<Column>) -> TableSchema {
+        TableSchema { name: name.into(), columns, primary_key: None }
+    }
+
+    pub fn column_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+
+    pub fn column(&self, name: &str) -> Option<&Column> {
+        self.column_index(name).map(|i| &self.columns[i])
+    }
+}
+
+/// A foreign-key edge `from_table.from_column → to_table.to_column`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ForeignKey {
+    pub from_table: String,
+    pub from_column: String,
+    pub to_table: String,
+    pub to_column: String,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Timestamp;
+
+    #[test]
+    fn infer_types() {
+        let nums = vec![Value::Int(1), Value::Float(2.0), Value::Null];
+        assert_eq!(ColumnType::infer(&nums), ColumnType::Quantitative);
+        let texts = vec![Value::text("a"), Value::text("b")];
+        assert_eq!(ColumnType::infer(&texts), ColumnType::Categorical);
+        let times = vec![
+            Value::Time(Timestamp::date(2020, 1, 1)),
+            Value::text("2020-02-01"),
+        ];
+        assert_eq!(ColumnType::infer(&times), ColumnType::Temporal);
+        assert_eq!(ColumnType::infer(&[]), ColumnType::Categorical);
+        assert_eq!(ColumnType::infer(&[Value::Null]), ColumnType::Categorical);
+    }
+
+    #[test]
+    fn letters() {
+        assert_eq!(ColumnType::Categorical.letter(), 'C');
+        assert_eq!(ColumnType::Temporal.to_string(), "T");
+        assert_eq!(ColumnType::Quantitative.letter(), 'Q');
+    }
+
+    #[test]
+    fn schema_lookup_case_insensitive() {
+        let s = TableSchema::new(
+            "t",
+            vec![Column::categorical("Name"), Column::quantitative("Age")],
+        );
+        assert_eq!(s.column_index("name"), Some(0));
+        assert_eq!(s.column("AGE").unwrap().ctype, ColumnType::Quantitative);
+        assert!(s.column_index("missing").is_none());
+    }
+}

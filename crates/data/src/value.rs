@@ -1,0 +1,443 @@
+//! Runtime values stored in tables and produced by queries.
+//!
+//! The engine distinguishes the three nvBench column classes — categorical
+//! (text/bool), temporal (timestamps) and quantitative (int/float) — at the
+//! value level, with a total order so that sorting, grouping, min/max and
+//! set operations are well-defined across the board.
+
+use nv_ast::Literal;
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+
+/// A calendar timestamp with minute resolution (seconds kept for display).
+///
+/// Implemented from scratch (no chrono): date arithmetic uses the
+/// days-from-civil algorithm, which also gives us the weekday.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Timestamp {
+    pub year: i32,
+    pub month: u8,
+    pub day: u8,
+    pub hour: u8,
+    pub minute: u8,
+    pub second: u8,
+}
+
+impl Timestamp {
+    pub fn date(year: i32, month: u8, day: u8) -> Self {
+        Timestamp { year, month, day, hour: 0, minute: 0, second: 0 }
+    }
+
+    pub fn datetime(year: i32, month: u8, day: u8, hour: u8, minute: u8) -> Self {
+        Timestamp { year, month, day, hour, minute, second: 0 }
+    }
+
+    /// Parse `YYYY-MM-DD`, `YYYY-MM-DD HH:MM` or `YYYY-MM-DD HH:MM:SS`.
+    pub fn parse(s: &str) -> Option<Timestamp> {
+        let (date, time) = match s.split_once(' ') {
+            Some((d, t)) => (d, Some(t)),
+            None => (s, None),
+        };
+        let mut dp = date.split('-');
+        let year: i32 = dp.next()?.parse().ok()?;
+        let month: u8 = dp.next()?.parse().ok()?;
+        let day: u8 = dp.next()?.parse().ok()?;
+        if dp.next().is_some() || !(1..=12).contains(&month) || !(1..=31).contains(&day) {
+            return None;
+        }
+        let (mut hour, mut minute, mut second) = (0u8, 0u8, 0u8);
+        if let Some(t) = time {
+            let mut tp = t.split(':');
+            hour = tp.next()?.parse().ok()?;
+            minute = tp.next()?.parse().ok()?;
+            if let Some(sec) = tp.next() {
+                second = sec.parse().ok()?;
+            }
+            if hour > 23 || minute > 59 || second > 59 {
+                return None;
+            }
+        }
+        Some(Timestamp { year, month, day, hour, minute, second })
+    }
+
+    /// Days since 1970-01-01 (days-from-civil; Howard Hinnant's algorithm).
+    pub fn days_from_epoch(&self) -> i64 {
+        let y = i64::from(self.year) - i64::from(self.month <= 2);
+        let era = if y >= 0 { y } else { y - 399 } / 400;
+        let yoe = y - era * 400;
+        let m = i64::from(self.month);
+        let d = i64::from(self.day);
+        let doy = (153 * (if m > 2 { m - 3 } else { m + 9 }) + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        era * 146_097 + doe - 719_468
+    }
+
+    /// Weekday with 0 = Monday … 6 = Sunday.
+    pub fn weekday(&self) -> u8 {
+        ((self.days_from_epoch() + 3).rem_euclid(7)) as u8
+    }
+
+    pub fn weekday_name(&self) -> &'static str {
+        ["Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday", "Sunday"]
+            [self.weekday() as usize]
+    }
+
+    /// Quarter 1–4.
+    pub fn quarter(&self) -> u8 {
+        (self.month - 1) / 3 + 1
+    }
+
+    pub fn month_name(&self) -> &'static str {
+        [
+            "January", "February", "March", "April", "May", "June", "July", "August",
+            "September", "October", "November", "December",
+        ][(self.month - 1) as usize]
+    }
+
+    /// Minutes since the epoch — a convenient sortable scalar.
+    pub fn minutes_from_epoch(&self) -> i64 {
+        self.days_from_epoch() * 1440 + i64::from(self.hour) * 60 + i64::from(self.minute)
+    }
+}
+
+impl std::fmt::Display for Timestamp {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.hour == 0 && self.minute == 0 && self.second == 0 {
+            write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+        } else {
+            write!(
+                f,
+                "{:04}-{:02}-{:02} {:02}:{:02}:{:02}",
+                self.year, self.month, self.day, self.hour, self.minute, self.second
+            )
+        }
+    }
+}
+
+/// A single cell value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    Float(f64),
+    Text(String),
+    Time(Timestamp),
+}
+
+impl Value {
+    pub fn text(s: impl Into<String>) -> Value {
+        Value::Text(s.into())
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Numeric view (ints widen to f64; bools are 0/1; timestamps are
+    /// minutes-from-epoch so temporal columns can be aggregated and binned
+    /// numerically).
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            Value::Bool(b) => Some(f64::from(*b)),
+            Value::Time(t) => Some(t.minutes_from_epoch() as f64),
+            _ => None,
+        }
+    }
+
+    pub fn as_time(&self) -> Option<Timestamp> {
+        match self {
+            Value::Time(t) => Some(*t),
+            Value::Text(s) => Timestamp::parse(s),
+            _ => None,
+        }
+    }
+
+    /// Convert an AST literal into a runtime value. Text that parses as a
+    /// timestamp stays text — coercion to time happens at comparison sites.
+    pub fn from_literal(l: &Literal) -> Value {
+        match l {
+            Literal::Null => Value::Null,
+            Literal::Bool(b) => Value::Bool(*b),
+            Literal::Int(i) => Value::Int(*i),
+            Literal::Float(f) => Value::Float(*f),
+            Literal::Text(s) => Value::Text(s.clone()),
+        }
+    }
+
+    /// A canonical display string (used for grouping keys and chart labels).
+    pub fn label(&self) -> String {
+        match self {
+            Value::Null => "null".into(),
+            Value::Bool(b) => b.to_string(),
+            Value::Int(i) => i.to_string(),
+            Value::Float(f) => {
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    format!("{}", *f as i64)
+                } else {
+                    format!("{f:.4}")
+                        .trim_end_matches('0')
+                        .trim_end_matches('.')
+                        .to_string()
+                }
+            }
+            Value::Text(s) => s.clone(),
+            Value::Time(t) => t.to_string(),
+        }
+    }
+
+    /// SQL-style equality: null equals nothing (including null); numerics
+    /// compare numerically across int/float; text comparing against a
+    /// temporal coerces.
+    pub fn sql_eq(&self, other: &Value) -> bool {
+        self.sql_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// SQL-style three-way comparison; `None` when either side is null or
+    /// the types are incomparable.
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        use Value::*;
+        match (self, other) {
+            (Null, _) | (_, Null) => None,
+            (Int(a), Int(b)) => Some(a.cmp(b)),
+            (Text(a), Text(b)) => Some(a.cmp(b)),
+            (Bool(a), Bool(b)) => Some(a.cmp(b)),
+            (Time(a), Time(b)) => Some(a.cmp(b)),
+            (Time(_), Text(s)) => {
+                let t = Timestamp::parse(s)?;
+                self.sql_cmp(&Time(t))
+            }
+            (Text(s), Time(_)) => {
+                let t = Timestamp::parse(s)?;
+                Time(t).sql_cmp(other)
+            }
+            _ => {
+                let a = self.as_f64()?;
+                let b = other.as_f64()?;
+                a.partial_cmp(&b)
+            }
+        }
+    }
+
+    /// Total order for sorting and set semantics: nulls first, then by type
+    /// class (bool < numeric < time < text), then by value.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        use Value::*;
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Null => 0,
+                Bool(_) => 1,
+                Int(_) | Float(_) => 2,
+                Time(_) => 3,
+                Text(_) => 4,
+            }
+        }
+        match (self, other) {
+            (Null, Null) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Time(a), Time(b)) => a.cmp(b),
+            (Text(a), Text(b)) => a.cmp(b),
+            (Int(_) | Float(_), Int(_) | Float(_)) => {
+                let a = self.as_f64().unwrap_or(f64::NAN);
+                let b = other.as_f64().unwrap_or(f64::NAN);
+                a.total_cmp(&b)
+            }
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+
+    /// SQL LIKE with `%` (any run) and `_` (any char), case-insensitive.
+    pub fn like(&self, pattern: &str) -> bool {
+        let s = match self {
+            Value::Text(s) => s.to_lowercase(),
+            other => other.label().to_lowercase(),
+        };
+        like_match(&s, &pattern.to_lowercase())
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            Value::Bool(b) => {
+                1u8.hash(state);
+                b.hash(state);
+            }
+            // Ints and whole floats must hash equal since they compare equal.
+            Value::Int(i) => {
+                2u8.hash(state);
+                (*i as f64).to_bits().hash(state);
+            }
+            Value::Float(f) => {
+                2u8.hash(state);
+                f.to_bits().hash(state);
+            }
+            Value::Time(t) => {
+                3u8.hash(state);
+                t.hash(state);
+            }
+            Value::Text(s) => {
+                4u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl std::fmt::Display for Value {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.label())
+    }
+}
+
+fn like_match(s: &str, p: &str) -> bool {
+    // Classic two-pointer wildcard matcher over chars.
+    let s: Vec<char> = s.chars().collect();
+    let p: Vec<char> = p.chars().collect();
+    let (mut si, mut pi) = (0usize, 0usize);
+    let (mut star, mut mark) = (usize::MAX, 0usize);
+    while si < s.len() {
+        if pi < p.len() && (p[pi] == '_' || p[pi] == s[si]) {
+            si += 1;
+            pi += 1;
+        } else if pi < p.len() && p[pi] == '%' {
+            star = pi;
+            mark = si;
+            pi += 1;
+        } else if star != usize::MAX {
+            pi = star + 1;
+            mark += 1;
+            si = mark;
+        } else {
+            return false;
+        }
+    }
+    while pi < p.len() && p[pi] == '%' {
+        pi += 1;
+    }
+    pi == p.len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timestamp_parse_and_display() {
+        let t = Timestamp::parse("2020-09-13").unwrap();
+        assert_eq!(t, Timestamp::date(2020, 9, 13));
+        assert_eq!(t.to_string(), "2020-09-13");
+        let t = Timestamp::parse("2020-09-13 14:30").unwrap();
+        assert_eq!((t.hour, t.minute), (14, 30));
+        let t = Timestamp::parse("2020-09-13 14:30:05").unwrap();
+        assert_eq!(t.second, 5);
+        assert!(Timestamp::parse("2020-13-01").is_none());
+        assert!(Timestamp::parse("not a date").is_none());
+        assert!(Timestamp::parse("2020-09-13 25:00").is_none());
+    }
+
+    #[test]
+    fn weekday_and_quarter() {
+        // 2021-06-20 (SIGMOD'21 start) was a Sunday.
+        let t = Timestamp::date(2021, 6, 20);
+        assert_eq!(t.weekday_name(), "Sunday");
+        assert_eq!(t.quarter(), 2);
+        assert_eq!(Timestamp::date(1970, 1, 1).days_from_epoch(), 0);
+        assert_eq!(Timestamp::date(1970, 1, 1).weekday_name(), "Thursday");
+        assert_eq!(Timestamp::date(2000, 3, 1).days_from_epoch(), 11017);
+        assert_eq!(Timestamp::date(2021, 12, 31).month_name(), "December");
+    }
+
+    #[test]
+    fn ordering_across_years() {
+        let a = Timestamp::date(1999, 12, 31);
+        let b = Timestamp::date(2000, 1, 1);
+        assert!(a < b);
+        assert!(a.days_from_epoch() + 1 == b.days_from_epoch());
+    }
+
+    #[test]
+    fn sql_cmp_numeric_coercion() {
+        assert!(Value::Int(3).sql_eq(&Value::Float(3.0)));
+        assert_eq!(
+            Value::Int(2).sql_cmp(&Value::Float(2.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert!(!Value::Null.sql_eq(&Value::Null));
+    }
+
+    #[test]
+    fn sql_cmp_time_text_coercion() {
+        let t = Value::Time(Timestamp::date(2020, 5, 1));
+        assert!(t.sql_eq(&Value::text("2020-05-01")));
+        assert_eq!(
+            Value::text("2020-04-30").sql_cmp(&t),
+            Some(Ordering::Less)
+        );
+        assert_eq!(t.sql_cmp(&Value::text("nope")), None);
+    }
+
+    #[test]
+    fn total_cmp_is_total() {
+        let vals = [
+            Value::Null,
+            Value::Bool(false),
+            Value::Int(1),
+            Value::Float(1.5),
+            Value::Time(Timestamp::date(2020, 1, 1)),
+            Value::text("abc"),
+        ];
+        for (i, a) in vals.iter().enumerate() {
+            for (j, b) in vals.iter().enumerate() {
+                let c = a.total_cmp(b);
+                if i == j {
+                    assert_eq!(c, Ordering::Equal);
+                } else {
+                    assert_eq!(c, b.total_cmp(a).reverse());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eq_hash_consistent_for_int_float() {
+        use std::collections::HashSet;
+        let mut set = HashSet::new();
+        set.insert(Value::Int(3));
+        assert!(set.contains(&Value::Float(3.0)));
+    }
+
+    #[test]
+    fn like_patterns() {
+        assert!(Value::text("International").like("Inter%"));
+        assert!(Value::text("O'Hare International").like("%international"));
+        assert!(Value::text("cat").like("c_t"));
+        assert!(!Value::text("cart").like("c_t"));
+        assert!(Value::text("abc").like("%"));
+        assert!(!Value::text("abc").like("x%"));
+        assert!(Value::text("").like("%"));
+        assert!(!Value::text("").like("_"));
+    }
+
+    #[test]
+    fn labels() {
+        assert_eq!(Value::Float(2.0).label(), "2");
+        assert_eq!(Value::Float(2.5).label(), "2.5");
+        assert_eq!(Value::Float(0.125).label(), "0.125");
+        assert_eq!(Value::Null.label(), "null");
+        assert_eq!(Value::Time(Timestamp::date(2020, 1, 2)).label(), "2020-01-02");
+    }
+}

@@ -1,0 +1,101 @@
+//! nvBench* — the refined benchmark (§3.3).
+//!
+//! The paper's experts revised the ~2% of NL queries they rated imperfect,
+//! producing the refined release nvBench*. We simulate the same pass: pairs
+//! the (simulated) study rated low get their NL regenerated from the VIS
+//! tree itself — the same clean rewrite the synthesizer uses after deletion
+//! edits — which lifts their latent quality on re-evaluation.
+
+use crate::study::StudyResult;
+use nv_core::NvBench;
+use nv_synth::{describe_data_part, normalize};
+
+/// Outcome of the refinement pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RefineReport {
+    /// Pairs whose NL was rewritten.
+    pub revised: usize,
+    /// Fraction of the whole benchmark revised (the paper's ~2%).
+    pub revised_fraction_pct: u32,
+}
+
+/// Produce nvBench*: rewrite the NL of every low-rated pair.
+pub fn refine(bench: &NvBench, study: &StudyResult) -> (NvBench, RefineReport) {
+    let mut refined = bench.clone();
+    let mut revised = 0usize;
+    for &pi in &study.low_rated_pairs {
+        let pair = &mut refined.pairs[pi];
+        let vis = &refined.vis_objects[pair.vis_id];
+        let db = bench
+            .databases
+            .iter()
+            .find(|d| d.name.eq_ignore_ascii_case(&vis.db_name));
+        let Some(db) = db else { continue };
+        let core = describe_data_part(db, &vis.tree);
+        let chart = vis
+            .tree
+            .chart
+            .map(|c| c.display_name())
+            .unwrap_or("chart");
+        pair.nl = normalize(&format!("Show {core} as a {chart}."));
+        revised += 1;
+    }
+    let pct = if bench.pairs.is_empty() {
+        0
+    } else {
+        (revised * 100 / bench.pairs.len()) as u32
+    };
+    (refined, RefineReport { revised, revised_fraction_pct: pct })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::study::{run_study, StudyConfig};
+    use nv_core::{Nl2SqlToNl2Vis, SynthesizerConfig};
+    use nv_spider::{CorpusConfig, SpiderCorpus};
+
+    fn bench() -> NvBench {
+        let corpus = SpiderCorpus::generate(&CorpusConfig::small(23));
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+    }
+
+    #[test]
+    fn refinement_rewrites_exactly_the_low_rated_pairs() {
+        let b = bench();
+        let study = run_study(&b, &StudyConfig { sample_frac: 1.0, ..Default::default() });
+        let (refined, report) = refine(&b, &study);
+        assert_eq!(report.revised, study.low_rated_pairs.len());
+        assert_eq!(refined.pairs.len(), b.pairs.len());
+        let low: std::collections::HashSet<usize> =
+            study.low_rated_pairs.iter().copied().collect();
+        for (i, (orig, new)) in b.pairs.iter().zip(&refined.pairs).enumerate() {
+            if low.contains(&i) {
+                assert_ne!(orig.nl, new.nl, "pair {i} not rewritten");
+                assert!(new.nl.ends_with('.'));
+            } else {
+                assert_eq!(orig.nl, new.nl, "pair {i} changed unexpectedly");
+            }
+        }
+    }
+
+    #[test]
+    fn refined_benchmark_rates_no_worse() {
+        let b = bench();
+        let cfg = StudyConfig { sample_frac: 1.0, ..Default::default() };
+        let study = run_study(&b, &cfg);
+        if study.low_rated_pairs.is_empty() {
+            return; // nothing to refine at this seed
+        }
+        let (refined, _) = refine(&b, &study);
+        let study2 = run_study(&refined, &cfg);
+        // A second (identically-seeded) study should find at most as many
+        // low-rated pairs — the revised NL is shorter and cleaner.
+        assert!(
+            study2.low_rated_pairs.len() <= study.low_rated_pairs.len(),
+            "{} → {}",
+            study.low_rated_pairs.len(),
+            study2.low_rated_pairs.len()
+        );
+    }
+}

@@ -1,0 +1,698 @@
+//! A minimal tape-based reverse-mode autograd over [`Matrix`].
+//!
+//! Sized exactly for the paper's seq2vis models: column-vector activations,
+//! LSTM gates via slicing, Luong attention via transposed matmuls and
+//! softmax, and the pointer-generator blend for the copying variant. Every
+//! op's backward rule is verified against numerical differentiation in the
+//! tests below.
+//!
+//! Parameters live in a [`ParamStore`] (values + gradients + Adam state);
+//! the tape references them by id, so large weight matrices are never
+//! copied per step.
+
+use crate::matrix::Matrix;
+use std::collections::HashMap;
+
+/// Handle to a parameter in the store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamId(pub usize);
+
+/// Parameter storage with Adam state.
+#[derive(Debug, Clone)]
+pub struct ParamStore {
+    pub mats: Vec<Matrix>,
+    pub grads: Vec<Matrix>,
+    m: Vec<Matrix>,
+    v: Vec<Matrix>,
+    t: u64,
+}
+
+impl ParamStore {
+    pub fn new() -> ParamStore {
+        ParamStore { mats: vec![], grads: vec![], m: vec![], v: vec![], t: 0 }
+    }
+
+    pub fn add(&mut self, mat: Matrix) -> ParamId {
+        let id = self.mats.len();
+        self.grads.push(Matrix::zeros(mat.rows, mat.cols));
+        self.m.push(Matrix::zeros(mat.rows, mat.cols));
+        self.v.push(Matrix::zeros(mat.rows, mat.cols));
+        self.mats.push(mat);
+        ParamId(id)
+    }
+
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.mats[id.0]
+    }
+
+    pub fn zero_grads(&mut self) {
+        for g in &mut self.grads {
+            g.fill(0.0);
+        }
+    }
+
+    /// Total scalar parameter count.
+    pub fn n_scalars(&self) -> usize {
+        self.mats.iter().map(|m| m.data.len()).sum()
+    }
+
+    /// Clip gradients to a global L2 norm (the paper clips at 2.0).
+    pub fn clip_global_norm(&mut self, max_norm: f32) {
+        let total: f32 = self
+            .grads
+            .iter()
+            .map(|g| g.data.iter().map(|x| x * x).sum::<f32>())
+            .sum::<f32>()
+            .sqrt();
+        if total > max_norm && total > 0.0 {
+            let s = max_norm / total;
+            for g in &mut self.grads {
+                g.scale(s);
+            }
+        }
+    }
+
+    /// One Adam update from the accumulated gradients.
+    pub fn adam_step(&mut self, lr: f32) {
+        const B1: f32 = 0.9;
+        const B2: f32 = 0.999;
+        const EPS: f32 = 1e-8;
+        self.t += 1;
+        let bc1 = 1.0 - B1.powi(self.t as i32);
+        let bc2 = 1.0 - B2.powi(self.t as i32);
+        for i in 0..self.mats.len() {
+            let g = &self.grads[i];
+            for j in 0..g.data.len() {
+                let grad = g.data[j];
+                self.m[i].data[j] = B1 * self.m[i].data[j] + (1.0 - B1) * grad;
+                self.v[i].data[j] = B2 * self.v[i].data[j] + (1.0 - B2) * grad * grad;
+                let mhat = self.m[i].data[j] / bc1;
+                let vhat = self.v[i].data[j] / bc2;
+                self.mats[i].data[j] -= lr * mhat / (vhat.sqrt() + EPS);
+            }
+        }
+    }
+
+    /// Fold a backward pass's parameter gradients in.
+    pub fn accumulate(&mut self, grads: HashMap<usize, Matrix>) {
+        for (id, g) in grads {
+            self.grads[id].add_assign(&g);
+        }
+    }
+}
+
+impl Default for ParamStore {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Handle to a tape node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct T(usize);
+
+enum Op {
+    Param(usize),
+    Const,
+    Embed { param: usize, row: usize },
+    Matmul(T, T),
+    /// `aᵀ × b`
+    MatmulTN(T, T),
+    Add(T, T),
+    Mul(T, T),
+    Sigmoid(T),
+    Tanh(T),
+    SliceRows { src: T, start: usize },
+    ConcatRows(Vec<T>),
+    ConcatCols(Vec<T>),
+    Softmax(T),
+    /// `gate*a + (1-gate)*b`, gate is 1×1.
+    Blend { gate: T, a: T, b: T },
+    /// `-ln(probs[target])`, probs is v×1; output 1×1.
+    Nll { probs: T, target: usize },
+    Scale(T, f32),
+    SumList(Vec<T>),
+}
+
+/// The computation tape for one sample/sequence.
+pub struct Tape {
+    values: Vec<Option<Matrix>>, // None for Param nodes (live in the store)
+    ops: Vec<Op>,
+    param_grads: HashMap<usize, Matrix>,
+}
+
+impl Tape {
+    pub fn new() -> Tape {
+        Tape { values: vec![], ops: vec![], param_grads: HashMap::new() }
+    }
+
+    fn push(&mut self, value: Option<Matrix>, op: Op) -> T {
+        self.values.push(value);
+        self.ops.push(op);
+        T(self.values.len() - 1)
+    }
+
+    /// Shape-checked access to a node's value.
+    pub fn value<'a>(&'a self, store: &'a ParamStore, t: T) -> &'a Matrix {
+        match &self.ops[t.0] {
+            Op::Param(id) => &store.mats[*id],
+            _ => self.values[t.0].as_ref().expect("non-param node has a value"),
+        }
+    }
+
+    pub fn param(&mut self, id: ParamId) -> T {
+        self.push(None, Op::Param(id.0))
+    }
+
+    pub fn constant(&mut self, m: Matrix) -> T {
+        self.push(Some(m), Op::Const)
+    }
+
+    /// Embedding-row lookup: the `row`-th row of the parameter matrix as a
+    /// column vector.
+    pub fn embed(&mut self, store: &ParamStore, table: ParamId, row: usize) -> T {
+        let tab = store.get(table);
+        let dim = tab.cols;
+        let data: Vec<f32> = (0..dim).map(|j| tab.at(row, j)).collect();
+        self.push(Some(Matrix::col(data)), Op::Embed { param: table.0, row })
+    }
+
+    pub fn matmul(&mut self, store: &ParamStore, a: T, b: T) -> T {
+        let v = self.value(store, a).matmul(self.value(store, b));
+        self.push(Some(v), Op::Matmul(a, b))
+    }
+
+    /// `aᵀ × b`.
+    pub fn matmul_tn(&mut self, store: &ParamStore, a: T, b: T) -> T {
+        let v = self.value(store, a).matmul_tn(self.value(store, b));
+        self.push(Some(v), Op::MatmulTN(a, b))
+    }
+
+    pub fn add(&mut self, store: &ParamStore, a: T, b: T) -> T {
+        let mut v = self.value(store, a).clone();
+        v.add_assign(self.value(store, b));
+        self.push(Some(v), Op::Add(a, b))
+    }
+
+    pub fn mul(&mut self, store: &ParamStore, a: T, b: T) -> T {
+        let av = self.value(store, a);
+        let bv = self.value(store, b);
+        assert!(av.same_shape(bv));
+        let data = av.data.iter().zip(&bv.data).map(|(x, y)| x * y).collect();
+        let v = Matrix::from_vec(av.rows, av.cols, data);
+        self.push(Some(v), Op::Mul(a, b))
+    }
+
+    pub fn sigmoid(&mut self, store: &ParamStore, a: T) -> T {
+        let av = self.value(store, a);
+        let data = av.data.iter().map(|x| 1.0 / (1.0 + (-x).exp())).collect();
+        let v = Matrix::from_vec(av.rows, av.cols, data);
+        self.push(Some(v), Op::Sigmoid(a))
+    }
+
+    pub fn tanh(&mut self, store: &ParamStore, a: T) -> T {
+        let av = self.value(store, a);
+        let data = av.data.iter().map(|x| x.tanh()).collect();
+        let v = Matrix::from_vec(av.rows, av.cols, data);
+        self.push(Some(v), Op::Tanh(a))
+    }
+
+    /// Rows `[start, start+len)` of a column-vector-shaped node.
+    pub fn slice_rows(&mut self, store: &ParamStore, src: T, start: usize, len: usize) -> T {
+        let sv = self.value(store, src);
+        assert_eq!(sv.cols, 1);
+        let data = sv.data[start..start + len].to_vec();
+        self.push(Some(Matrix::col(data)), Op::SliceRows { src, start })
+    }
+
+    /// Stack column vectors vertically.
+    pub fn concat_rows(&mut self, store: &ParamStore, parts: &[T]) -> T {
+        let mut data = Vec::new();
+        for &p in parts {
+            let pv = self.value(store, p);
+            assert_eq!(pv.cols, 1);
+            data.extend_from_slice(&pv.data);
+        }
+        self.push(Some(Matrix::col(data)), Op::ConcatRows(parts.to_vec()))
+    }
+
+    /// Stack column vectors horizontally into an (h × n) matrix.
+    pub fn concat_cols(&mut self, store: &ParamStore, parts: &[T]) -> T {
+        let rows = self.value(store, parts[0]).rows;
+        let mut out = Matrix::zeros(rows, parts.len());
+        for (j, &p) in parts.iter().enumerate() {
+            let pv = self.value(store, p);
+            assert_eq!(pv.rows, rows);
+            for i in 0..rows {
+                *out.at_mut(i, j) = pv.data[i];
+            }
+        }
+        self.push(Some(out), Op::ConcatCols(parts.to_vec()))
+    }
+
+    /// Column softmax.
+    pub fn softmax(&mut self, store: &ParamStore, a: T) -> T {
+        let av = self.value(store, a);
+        assert_eq!(av.cols, 1);
+        let max = av.data.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+        let exps: Vec<f32> = av.data.iter().map(|x| (x - max).exp()).collect();
+        let sum: f32 = exps.iter().sum();
+        let v = Matrix::col(exps.into_iter().map(|e| e / sum).collect());
+        self.push(Some(v), Op::Softmax(a))
+    }
+
+    /// `gate*a + (1-gate)*b` with a 1×1 gate.
+    pub fn blend(&mut self, store: &ParamStore, gate: T, a: T, b: T) -> T {
+        let g = self.value(store, gate).data[0];
+        let av = self.value(store, a);
+        let bv = self.value(store, b);
+        assert!(av.same_shape(bv));
+        let data = av
+            .data
+            .iter()
+            .zip(&bv.data)
+            .map(|(x, y)| g * x + (1.0 - g) * y)
+            .collect();
+        let v = Matrix::from_vec(av.rows, av.cols, data);
+        self.push(Some(v), Op::Blend { gate, a, b })
+    }
+
+    /// Negative log likelihood of `target` under a probability column.
+    pub fn nll(&mut self, store: &ParamStore, probs: T, target: usize) -> T {
+        let p = self.value(store, probs).data[target].max(1e-12);
+        let v = Matrix::col(vec![-p.ln()]);
+        self.push(Some(v), Op::Nll { probs, target })
+    }
+
+    pub fn scale(&mut self, store: &ParamStore, a: T, s: f32) -> T {
+        let mut v = self.value(store, a).clone();
+        v.scale(s);
+        self.push(Some(v), Op::Scale(a, s))
+    }
+
+    /// Sum of 1×1 scalars.
+    pub fn sum_scalars(&mut self, store: &ParamStore, parts: &[T]) -> T {
+        let total: f32 = parts.iter().map(|&p| self.value(store, p).data[0]).sum();
+        self.push(Some(Matrix::col(vec![total])), Op::SumList(parts.to_vec()))
+    }
+
+    /// Reverse pass from a scalar loss node. Returns parameter gradients
+    /// (caller folds them into the store).
+    pub fn backward(mut self, store: &ParamStore, loss: T) -> HashMap<usize, Matrix> {
+        let n = self.values.len();
+        let mut grads: Vec<Option<Matrix>> = vec![None; n];
+        {
+            let lv = self.value(store, loss);
+            assert_eq!((lv.rows, lv.cols), (1, 1), "loss must be scalar");
+        }
+        grads[loss.0] = Some(Matrix::col(vec![1.0]));
+
+        for i in (0..n).rev() {
+            let Some(g) = grads[i].take() else { continue };
+            match &self.ops[i] {
+                Op::Const => {}
+                Op::Param(id) => {
+                    self.param_grads
+                        .entry(*id)
+                        .or_insert_with(|| Matrix::zeros(g.rows, g.cols))
+                        .add_assign(&g);
+                }
+                Op::Embed { param, row } => {
+                    let tab = &store.mats[*param];
+                    let entry = self
+                        .param_grads
+                        .entry(*param)
+                        .or_insert_with(|| Matrix::zeros(tab.rows, tab.cols));
+                    for j in 0..g.rows {
+                        *entry.at_mut(*row, j) += g.data[j];
+                    }
+                }
+                Op::Matmul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let da = g.matmul_nt(self.value(store, b));
+                    let db = self.value(store, a).matmul_tn(&g);
+                    acc(&mut grads, a, da);
+                    acc(&mut grads, b, db);
+                }
+                Op::MatmulTN(a, b) => {
+                    let (a, b) = (*a, *b);
+                    // out = aᵀb; da = b gᵀ; db = a g.
+                    let da = self.value(store, b).matmul_nt(&g);
+                    let db = self.value(store, a).matmul(&g);
+                    acc(&mut grads, a, da);
+                    acc(&mut grads, b, db);
+                }
+                Op::Add(a, b) => {
+                    let (a, b) = (*a, *b);
+                    acc(&mut grads, a, g.clone());
+                    acc(&mut grads, b, g);
+                }
+                Op::Mul(a, b) => {
+                    let (a, b) = (*a, *b);
+                    let av = self.value(store, a).clone();
+                    let bv = self.value(store, b).clone();
+                    let mut da = g.clone();
+                    for (x, y) in da.data.iter_mut().zip(&bv.data) {
+                        *x *= y;
+                    }
+                    let mut db = g;
+                    for (x, y) in db.data.iter_mut().zip(&av.data) {
+                        *x *= y;
+                    }
+                    acc(&mut grads, a, da);
+                    acc(&mut grads, b, db);
+                }
+                Op::Sigmoid(a) => {
+                    let a = *a;
+                    let yv = self.values[i].as_ref().unwrap().clone();
+                    let mut da = g;
+                    for (x, y) in da.data.iter_mut().zip(&yv.data) {
+                        *x *= y * (1.0 - y);
+                    }
+                    acc(&mut grads, a, da);
+                }
+                Op::Tanh(a) => {
+                    let a = *a;
+                    let yv = self.values[i].as_ref().unwrap().clone();
+                    let mut da = g;
+                    for (x, y) in da.data.iter_mut().zip(&yv.data) {
+                        *x *= 1.0 - y * y;
+                    }
+                    acc(&mut grads, a, da);
+                }
+                Op::SliceRows { src, start } => {
+                    let (src, start) = (*src, *start);
+                    let sv = self.value(store, src);
+                    let mut ds = Matrix::zeros(sv.rows, 1);
+                    for j in 0..g.rows {
+                        ds.data[start + j] = g.data[j];
+                    }
+                    acc(&mut grads, src, ds);
+                }
+                Op::ConcatRows(parts) => {
+                    let parts = parts.clone();
+                    let mut off = 0;
+                    for p in parts {
+                        let len = self.value(store, p).rows;
+                        let dp = Matrix::col(g.data[off..off + len].to_vec());
+                        off += len;
+                        acc(&mut grads, p, dp);
+                    }
+                }
+                Op::ConcatCols(parts) => {
+                    let parts = parts.clone();
+                    for (j, p) in parts.into_iter().enumerate() {
+                        let rows = g.rows;
+                        let dp =
+                            Matrix::col((0..rows).map(|r| g.at(r, j)).collect());
+                        acc(&mut grads, p, dp);
+                    }
+                }
+                Op::Softmax(a) => {
+                    let a = *a;
+                    let y = self.values[i].as_ref().unwrap().clone();
+                    let dot: f32 = g.data.iter().zip(&y.data).map(|(x, s)| x * s).sum();
+                    let da = Matrix::col(
+                        y.data
+                            .iter()
+                            .zip(&g.data)
+                            .map(|(s, x)| s * (x - dot))
+                            .collect(),
+                    );
+                    acc(&mut grads, a, da);
+                }
+                Op::Blend { gate, a, b } => {
+                    let (gate, a, b) = (*gate, *a, *b);
+                    let gv = self.value(store, gate).data[0];
+                    let av = self.value(store, a).clone();
+                    let bv = self.value(store, b).clone();
+                    let dgate: f32 = g
+                        .data
+                        .iter()
+                        .zip(av.data.iter().zip(&bv.data))
+                        .map(|(x, (ai, bi))| x * (ai - bi))
+                        .sum();
+                    let mut da = g.clone();
+                    da.scale(gv);
+                    let mut db = g;
+                    db.scale(1.0 - gv);
+                    acc(&mut grads, gate, Matrix::col(vec![dgate]));
+                    acc(&mut grads, a, da);
+                    acc(&mut grads, b, db);
+                }
+                Op::Nll { probs, target } => {
+                    let (probs, target) = (*probs, *target);
+                    let pv = self.value(store, probs);
+                    let mut dp = Matrix::zeros(pv.rows, 1);
+                    dp.data[target] = -g.data[0] / pv.data[target].max(1e-12);
+                    acc(&mut grads, probs, dp);
+                }
+                Op::Scale(a, s) => {
+                    let (a, s) = (*a, *s);
+                    let mut da = g;
+                    da.scale(s);
+                    acc(&mut grads, a, da);
+                }
+                Op::SumList(parts) => {
+                    let parts = parts.clone();
+                    for p in parts {
+                        acc(&mut grads, p, g.clone());
+                    }
+                }
+            }
+        }
+        self.param_grads
+    }
+}
+
+impl Default for Tape {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+fn acc(grads: &mut [Option<Matrix>], t: T, g: Matrix) {
+    match &mut grads[t.0] {
+        Some(existing) => existing.add_assign(&g),
+        slot => *slot = Some(g),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Numerical gradient check: perturb every scalar of every param and
+    /// compare the finite difference against the analytic gradient.
+    fn grad_check<F>(store: &mut ParamStore, forward: F, tol: f32)
+    where
+        F: Fn(&mut Tape, &ParamStore) -> T,
+    {
+        // Analytic.
+        store.zero_grads();
+        let mut tape = Tape::new();
+        let loss = forward(&mut tape, store);
+        let grads = tape.backward(store, loss);
+        store.accumulate(grads);
+        let analytic: Vec<Matrix> = store.grads.clone();
+
+        let eps = 1e-3f32;
+        for pi in 0..store.mats.len() {
+            for j in 0..store.mats[pi].data.len() {
+                let orig = store.mats[pi].data[j];
+                store.mats[pi].data[j] = orig + eps;
+                let mut t1 = Tape::new();
+                let l1 = forward(&mut t1, store);
+                let f1 = t1.value(store, l1).data[0];
+                store.mats[pi].data[j] = orig - eps;
+                let mut t2 = Tape::new();
+                let l2 = forward(&mut t2, store);
+                let f2 = t2.value(store, l2).data[0];
+                store.mats[pi].data[j] = orig;
+                let numeric = (f1 - f2) / (2.0 * eps);
+                let a = analytic[pi].data[j];
+                assert!(
+                    (numeric - a).abs() < tol * (1.0 + numeric.abs().max(a.abs())),
+                    "param {pi}[{j}]: numeric {numeric} vs analytic {a}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn grad_check_linear_softmax_nll() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::xavier(4, 3, &mut rng));
+        let b = store.add(Matrix::xavier(4, 1, &mut rng));
+        grad_check(
+            &mut store,
+            |tape, store| {
+                let x = tape.constant(Matrix::col(vec![0.5, -0.3, 0.8]));
+                let wp = tape.param(w);
+                let bp = tape.param(b);
+                let z0 = tape.matmul(store, wp, x);
+                let z = tape.add(store, z0, bp);
+                let p = tape.softmax(store, z);
+                tape.nll(store, p, 2)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_lstm_like_cell() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let h = 3;
+        let mut store = ParamStore::new();
+        let wih = store.add(Matrix::xavier(4 * h, 2, &mut rng));
+        let whh = store.add(Matrix::xavier(4 * h, h, &mut rng));
+        let bias = store.add(Matrix::zeros(4 * h, 1));
+        let wout = store.add(Matrix::xavier(5, h, &mut rng));
+        grad_check(
+            &mut store,
+            |tape, store| {
+                let x = tape.constant(Matrix::col(vec![0.2, -0.7]));
+                let h0 = tape.constant(Matrix::col(vec![0.1; 3]));
+                let c0 = tape.constant(Matrix::col(vec![0.0; 3]));
+                let (wih, whh, bias, wout) = (
+                    tape.param(wih),
+                    tape.param(whh),
+                    tape.param(bias),
+                    tape.param(wout),
+                );
+                let zx = tape.matmul(store, wih, x);
+                let zh = tape.matmul(store, whh, h0);
+                let z0 = tape.add(store, zx, zh);
+                let z = tape.add(store, z0, bias);
+                let i = tape.slice_rows(store, z, 0, 3);
+                let f = tape.slice_rows(store, z, 3, 3);
+                let g = tape.slice_rows(store, z, 6, 3);
+                let o = tape.slice_rows(store, z, 9, 3);
+                let i = tape.sigmoid(store, i);
+                let f = tape.sigmoid(store, f);
+                let g = tape.tanh(store, g);
+                let o = tape.sigmoid(store, o);
+                let fc = tape.mul(store, f, c0);
+                let ig = tape.mul(store, i, g);
+                let c = tape.add(store, fc, ig);
+                let tc = tape.tanh(store, c);
+                let hh = tape.mul(store, o, tc);
+                let logits = tape.matmul(store, wout, hh);
+                let p = tape.softmax(store, logits);
+                tape.nll(store, p, 1)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_attention_and_blend() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut store = ParamStore::new();
+        let we = store.add(Matrix::xavier(3, 2, &mut rng));
+        let wg = store.add(Matrix::xavier(1, 3, &mut rng));
+        grad_check(
+            &mut store,
+            |tape, store| {
+                let wep = tape.param(we);
+                let x1 = tape.constant(Matrix::col(vec![0.3, 0.9]));
+                let x2 = tape.constant(Matrix::col(vec![-0.5, 0.1]));
+                let e1 = tape.matmul(store, wep, x1);
+                let e2 = tape.matmul(store, wep, x2);
+                let enc = tape.concat_cols(store, &[e1, e2]); // 3×2
+                let q = tape.constant(Matrix::col(vec![0.4, -0.2, 0.6]));
+                let scores = tape.matmul_tn(store, enc, q); // 2×1
+                let attn = tape.softmax(store, scores);
+                let ctx = tape.matmul(store, enc, attn); // 3×1
+                let wgp = tape.param(wg);
+                let gl = tape.matmul(store, wgp, ctx); // 1×1
+                let gate = tape.sigmoid(store, gl);
+                // Blend two distributions derived from ctx and attn.
+                let vocab = tape.softmax(store, ctx); // 3×1 pseudo-vocab dist
+                let m = tape.constant(Matrix::from_vec(
+                    3,
+                    2,
+                    vec![1.0, 0.0, 0.0, 1.0, 0.0, 0.0],
+                ));
+                let copy = tape.matmul(store, m, attn); // 3×1
+                let mixed = tape.blend(store, gate, vocab, copy);
+                tape.nll(store, mixed, 0)
+            },
+            3e-2,
+        );
+    }
+
+    #[test]
+    fn grad_check_embed_and_concat_rows() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let mut store = ParamStore::new();
+        let emb = store.add(Matrix::xavier(5, 3, &mut rng));
+        let w = store.add(Matrix::xavier(4, 6, &mut rng));
+        grad_check(
+            &mut store,
+            |tape, store| {
+                let e1 = tape.embed(store, emb, 2);
+                let e2 = tape.embed(store, emb, 4);
+                let x = tape.concat_rows(store, &[e1, e2]);
+                let wp = tape.param(w);
+                let z = tape.matmul(store, wp, x);
+                let p = tape.softmax(store, z);
+                let l1 = tape.nll(store, p, 3);
+                let l2 = tape.nll(store, p, 0);
+                let s = tape.sum_scalars(store, &[l1, l2]);
+                tape.scale(store, s, 0.5)
+            },
+            2e-2,
+        );
+    }
+
+    #[test]
+    fn adam_reduces_loss() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::xavier(3, 2, &mut rng));
+        let mut first = None;
+        let mut last = 0.0;
+        for _ in 0..60 {
+            store.zero_grads();
+            let mut tape = Tape::new();
+            let x = tape.constant(Matrix::col(vec![1.0, -1.0]));
+            let wp = tape.param(w);
+            let z = tape.matmul(&store, wp, x);
+            let p = tape.softmax(&store, z);
+            let loss = tape.nll(&store, p, 1);
+            last = tape.value(&store, loss).data[0];
+            first.get_or_insert(last);
+            let grads = tape.backward(&store, loss);
+            store.accumulate(grads);
+            store.clip_global_norm(2.0);
+            store.adam_step(0.05);
+        }
+        assert!(last < first.unwrap() * 0.2, "{} → {last}", first.unwrap());
+    }
+
+    #[test]
+    fn clip_global_norm_scales() {
+        let mut store = ParamStore::new();
+        let w = store.add(Matrix::zeros(2, 2));
+        store.grads[w.0] = Matrix::from_vec(2, 2, vec![3.0, 0.0, 0.0, 4.0]);
+        store.clip_global_norm(1.0);
+        let n: f32 = store.grads[w.0].norm();
+        assert!((n - 1.0).abs() < 1e-5);
+        // Below the max: untouched.
+        store.grads[w.0] = Matrix::from_vec(2, 2, vec![0.1, 0.0, 0.0, 0.1]);
+        store.clip_global_norm(1.0);
+        assert!((store.grads[w.0].data[0] - 0.1).abs() < 1e-7);
+    }
+
+    #[test]
+    fn n_scalars_counts() {
+        let mut store = ParamStore::new();
+        store.add(Matrix::zeros(3, 4));
+        store.add(Matrix::zeros(2, 1));
+        assert_eq!(store.n_scalars(), 14);
+    }
+}

@@ -1,0 +1,19 @@
+//! # nv-nn — from-scratch neural substrate
+//!
+//! Everything the seq2vis translator needs, with no ML framework:
+//!
+//! * [`matrix`] — dense f32 matrices;
+//! * [`autograd`] — a tape-based reverse-mode autograd whose op set is
+//!   exactly the seq2seq working set (LSTM gates, attention, softmax,
+//!   pointer-generator blend), with numerically-checked gradients;
+//! * [`seq2seq`] — bi-LSTM encoder / LSTM decoder with three variants
+//!   (basic, +attention, +copying), Adam, clipping, teacher forcing,
+//!   early stopping and greedy decoding.
+
+pub mod autograd;
+pub mod matrix;
+pub mod seq2seq;
+
+pub use autograd::{ParamId, ParamStore, Tape};
+pub use matrix::Matrix;
+pub use seq2seq::{fit, ModelVariant, Sample, Seq2Seq, Seq2SeqConfig, TrainReport};

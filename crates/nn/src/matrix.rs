@@ -1,0 +1,253 @@
+//! A minimal dense f32 matrix — the storage type of the neural substrate.
+//! Row-major; sized for seq2seq-scale models (hundreds of rows/cols), so
+//! naive loops are plenty fast in release mode.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Unrolled dot product (the compiler auto-vectorizes the chunks).
+#[inline]
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[i] * b[i];
+        acc[1] += a[i + 1] * b[i + 1];
+        acc[2] += a[i + 2] * b[i + 2];
+        acc[3] += a[i + 3] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    pub rows: usize,
+    pub cols: usize,
+    pub data: Vec<f32>,
+}
+
+impl Matrix {
+    pub fn zeros(rows: usize, cols: usize) -> Matrix {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Matrix {
+        assert_eq!(data.len(), rows * cols);
+        Matrix { rows, cols, data }
+    }
+
+    /// Column vector.
+    pub fn col(data: Vec<f32>) -> Matrix {
+        let rows = data.len();
+        Matrix { rows, cols: 1, data }
+    }
+
+    /// Xavier/Glorot-uniform initialization.
+    pub fn xavier(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        let bound = (6.0 / (rows + cols) as f32).sqrt();
+        let data = (0..rows * cols)
+            .map(|_| rng.random_range(-bound..bound))
+            .collect();
+        Matrix { rows, cols, data }
+    }
+
+    #[inline]
+    pub fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    pub fn same_shape(&self, other: &Matrix) -> bool {
+        self.rows == other.rows && self.cols == other.cols
+    }
+
+    /// `self × other`. The matrix-×-column-vector case (the seq2seq hot
+    /// path) takes a contiguous dot-product fast path.
+    pub fn matmul(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.rows, "matmul {}x{} × {}x{}", self.rows, self.cols, other.rows, other.cols);
+        if other.cols == 1 {
+            let mut out = Matrix::zeros(self.rows, 1);
+            for i in 0..self.rows {
+                let row = &self.data[i * self.cols..(i + 1) * self.cols];
+                out.data[i] = dot(row, &other.data);
+            }
+            return out;
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self.at(i, k);
+                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(orow) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ × other`, with a fast path for the column-vector RHS
+    /// (`Wᵀ g` in backprop).
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape");
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        if other.cols == 1 {
+            for k in 0..self.rows {
+                let g = other.data[k];
+                if g == 0.0 {
+                    continue;
+                }
+                let row = &self.data[k * self.cols..(k + 1) * self.cols];
+                for (o, &a) in out.data.iter_mut().zip(row) {
+                    *o += a * g;
+                }
+            }
+            return out;
+        }
+        for k in 0..self.rows {
+            for i in 0..self.cols {
+                let a = self.at(k, i);
+                if a == 0.0 {
+                    continue;
+                }
+                for j in 0..other.cols {
+                    *out.at_mut(i, j) += a * other.at(k, j);
+                }
+            }
+        }
+        out
+    }
+
+    /// `self × otherᵀ`, with a fast path for the rank-1 case (`g xᵀ` —
+    /// the weight-gradient outer product in backprop).
+    pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        assert_eq!(self.cols, other.cols, "matmul_nt shape");
+        if self.cols == 1 {
+            let mut out = Matrix::zeros(self.rows, other.rows);
+            for i in 0..self.rows {
+                let a = self.data[i];
+                let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
+                for (o, &b) in out_row.iter_mut().zip(&other.data) {
+                    *o = a * b;
+                }
+            }
+            return out;
+        }
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            for j in 0..other.rows {
+                let mut s = 0.0;
+                for k in 0..self.cols {
+                    s += self.at(i, k) * other.at(j, k);
+                }
+                *out.at_mut(i, j) = s;
+            }
+        }
+        out
+    }
+
+    pub fn add_assign(&mut self, other: &Matrix) {
+        assert!(self.same_shape(other));
+        for (a, b) in self.data.iter_mut().zip(&other.data) {
+            *a += b;
+        }
+    }
+
+    pub fn scale(&mut self, s: f32) {
+        for a in &mut self.data {
+            *a *= s;
+        }
+    }
+
+    pub fn fill(&mut self, v: f32) {
+        self.data.fill(v);
+    }
+
+    /// Frobenius norm.
+    pub fn norm(&self) -> f32 {
+        self.data.iter().map(|x| x * x).sum::<f32>().sqrt()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn matmul_known() {
+        let a = Matrix::from_vec(2, 3, vec![1., 2., 3., 4., 5., 6.]);
+        let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
+        let c = a.matmul(&b);
+        assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    #[test]
+    fn matmul_tn_equals_transpose_matmul() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Matrix::xavier(4, 3, &mut rng);
+        let b = Matrix::xavier(4, 2, &mut rng);
+        let tn = a.matmul_tn(&b);
+        // Manual transpose.
+        let mut at = Matrix::zeros(3, 4);
+        for i in 0..4 {
+            for j in 0..3 {
+                *at.at_mut(j, i) = a.at(i, j);
+            }
+        }
+        let expect = at.matmul(&b);
+        for (x, y) in tn.data.iter().zip(&expect.data) {
+            assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn matmul_nt_matches() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let a = Matrix::xavier(3, 5, &mut rng);
+        let b = Matrix::xavier(2, 5, &mut rng);
+        let nt = a.matmul_nt(&b);
+        assert_eq!((nt.rows, nt.cols), (3, 2));
+        for i in 0..3 {
+            for j in 0..2 {
+                let mut s = 0.0;
+                for k in 0..5 {
+                    s += a.at(i, k) * b.at(j, k);
+                }
+                assert!((nt.at(i, j) - s).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn xavier_bounds() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Matrix::xavier(10, 10, &mut rng);
+        let bound = (6.0f32 / 20.0).sqrt();
+        assert!(m.data.iter().all(|x| x.abs() <= bound));
+        assert!(m.norm() > 0.0);
+    }
+
+    #[test]
+    fn basic_ops() {
+        let mut a = Matrix::col(vec![1.0, 2.0]);
+        let b = Matrix::col(vec![3.0, 4.0]);
+        a.add_assign(&b);
+        assert_eq!(a.data, vec![4.0, 6.0]);
+        a.scale(0.5);
+        assert_eq!(a.data, vec![2.0, 3.0]);
+        a.fill(0.0);
+        assert_eq!(a.norm(), 0.0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Chart feature extraction — the DeepEye classifier's published feature
+//! set (§2.4): number of distinct values, number of tuples, ratio of unique
+//! values, max and min values, data type, attribute correlation, vis type.
+
+use nv_ast::ChartType;
+use nv_data::ColumnType;
+use nv_render::ChartData;
+use nv_stats::pearson;
+
+/// Features of one candidate chart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChartFeatures {
+    pub chart: ChartType,
+    /// Number of data points.
+    pub n_tuples: usize,
+    /// Distinct x values.
+    pub n_distinct_x: usize,
+    /// `n_distinct_x / n_tuples` (1.0 when every x is unique).
+    pub unique_ratio: f64,
+    pub x_type: ColumnType,
+    pub y_type: ColumnType,
+    /// Min/max of the y channel (0 when y is not numeric).
+    pub y_min: f64,
+    pub y_max: f64,
+    /// Pearson correlation of (x, y) when both are numeric.
+    pub correlation: Option<f64>,
+    /// Distinct series values (0 for ungrouped charts).
+    pub n_series: usize,
+}
+
+impl ChartFeatures {
+    pub fn of(cd: &ChartData) -> ChartFeatures {
+        let n_tuples = cd.rows.len();
+        let n_distinct_x = cd.n_categories();
+        let ys: Vec<f64> = cd.rows.iter().filter_map(|r| r.y.as_f64()).collect();
+        let xs: Vec<f64> = cd.rows.iter().filter_map(|r| r.x.as_f64()).collect();
+        let correlation = if xs.len() == n_tuples && ys.len() == n_tuples {
+            pearson(&xs, &ys)
+        } else {
+            None
+        };
+        ChartFeatures {
+            chart: cd.chart,
+            n_tuples,
+            n_distinct_x,
+            unique_ratio: if n_tuples > 0 {
+                n_distinct_x as f64 / n_tuples as f64
+            } else {
+                0.0
+            },
+            x_type: cd.x_type,
+            y_type: cd.y_type,
+            y_min: ys.iter().copied().fold(f64::INFINITY, f64::min).clamp(-1e12, 0.0),
+            y_max: ys.iter().copied().fold(0.0, f64::max).min(1e12),
+            correlation,
+            n_series: cd.n_series(),
+        }
+    }
+
+    /// Dense feature vector for the classifier. Layout:
+    /// `[log1p(tuples)/5, log1p(distinct_x)/5, unique_ratio, log1p(y_range)/7,
+    ///   |corr|, has_corr, n_series/10, cardinality-threshold indicators ×4,
+    ///   x_type one-hot ×3, y_type one-hot ×3, chart one-hot ×7]` → 24 dims.
+    ///
+    /// The threshold indicators (`<2`, `>12`, `>25`, `>50` distinct x) make
+    /// the community cardinality rules-of-thumb linearly separable for the
+    /// logistic-regression stage — the same trick DeepEye's hand-designed
+    /// features play.
+    pub fn vector(&self) -> Vec<f64> {
+        let mut v = Vec::with_capacity(Self::DIM);
+        let k = self.n_distinct_x;
+        v.push((self.n_tuples as f64).ln_1p() / 5.0);
+        v.push((k as f64).ln_1p() / 5.0);
+        v.push(self.unique_ratio);
+        v.push((self.y_max - self.y_min).max(0.0).ln_1p() / 7.0);
+        v.push(self.correlation.map_or(0.0, f64::abs));
+        v.push(f64::from(self.correlation.is_some()));
+        v.push(self.n_series as f64 / 10.0);
+        v.push(f64::from(k < 2));
+        v.push(f64::from(k > 12));
+        v.push(f64::from(k > 25));
+        v.push(f64::from(k > 50));
+        for t in [ColumnType::Categorical, ColumnType::Temporal, ColumnType::Quantitative] {
+            v.push(f64::from(self.x_type == t));
+        }
+        for t in [ColumnType::Categorical, ColumnType::Temporal, ColumnType::Quantitative] {
+            v.push(f64::from(self.y_type == t));
+        }
+        for c in ChartType::ALL {
+            v.push(f64::from(self.chart == c));
+        }
+        // Chart-type × cardinality/correlation interactions: the community
+        // rules are per-chart-type thresholds, which a linear model can only
+        // express with these crossed features.
+        for c in ChartType::ALL {
+            let on = f64::from(self.chart == c);
+            v.push(on * (k as f64).ln_1p() / 5.0);
+            v.push(on * f64::from(k < 2));
+            v.push(on * f64::from(k > 12));
+            v.push(on * f64::from(k > 25));
+            v.push(on * self.correlation.map_or(0.0, f64::abs));
+        }
+        debug_assert_eq!(v.len(), Self::DIM);
+        v
+    }
+
+    /// Dimensionality of [`ChartFeatures::vector`].
+    pub const DIM: usize = 24 + 7 * 5;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_data::Value;
+    use nv_render::ChartRow;
+
+    fn cd(n: usize, chart: ChartType) -> ChartData {
+        ChartData {
+            chart,
+            x_name: "x".into(),
+            y_name: "y".into(),
+            series_name: None,
+            x_type: ColumnType::Categorical,
+            y_type: ColumnType::Quantitative,
+            rows: (0..n)
+                .map(|i| ChartRow {
+                    x: Value::text(format!("c{i}")),
+                    y: Value::Int(i as i64),
+                    series: None,
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn basic_features() {
+        let f = ChartFeatures::of(&cd(5, ChartType::Bar));
+        assert_eq!(f.n_tuples, 5);
+        assert_eq!(f.n_distinct_x, 5);
+        assert_eq!(f.unique_ratio, 1.0);
+        assert_eq!(f.y_max, 4.0);
+        assert!(f.correlation.is_none()); // x is text
+        assert_eq!(f.n_series, 0);
+    }
+
+    #[test]
+    fn correlation_for_numeric_x() {
+        let mut c = cd(5, ChartType::Scatter);
+        c.x_type = ColumnType::Quantitative;
+        for (i, r) in c.rows.iter_mut().enumerate() {
+            r.x = Value::Int(i as i64);
+        }
+        let f = ChartFeatures::of(&c);
+        assert!((f.correlation.unwrap() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn vector_dim_and_onehots() {
+        let f = ChartFeatures::of(&cd(3, ChartType::Pie));
+        let v = f.vector();
+        assert_eq!(v.len(), ChartFeatures::DIM);
+        // x one-hot: categorical.
+        assert_eq!(&v[11..14], &[1.0, 0.0, 0.0]);
+        // y one-hot: quantitative.
+        assert_eq!(&v[14..17], &[0.0, 0.0, 1.0]);
+        // chart one-hot: pie is index 1.
+        assert_eq!(v[17 + 1], 1.0);
+        assert!(v[17..24].iter().sum::<f64>() == 1.0);
+        // Cardinality indicators for k == 3: none fire.
+        assert_eq!(&v[7..11], &[0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn empty_chart_is_safe() {
+        let f = ChartFeatures::of(&cd(0, ChartType::Bar));
+        assert_eq!(f.unique_ratio, 0.0);
+        assert_eq!(f.vector().len(), ChartFeatures::DIM);
+    }
+}

@@ -1,0 +1,191 @@
+//! Expert rules (rules-of-thumb from the visualization community) — the
+//! first stage of the DeepEye filter (§2.4).
+//!
+//! The paper names four pruned patterns observed on TPC-H/TPC-DS:
+//! (1) single-value results, (2) pie charts with many slices, (3) bar charts
+//! with too many categories, (4) line charts over two qualitative variables.
+//! Plus the Table-1 channel-type validity rules.
+
+use crate::features::ChartFeatures;
+use nv_ast::ChartType;
+use nv_data::ColumnType;
+
+/// Slice/category limits. Thresholds follow common vis practice (DeepEye's
+/// own defaults are in this range).
+pub const MAX_PIE_SLICES: usize = 12;
+pub const MAX_BAR_CATEGORIES: usize = 50;
+pub const MAX_SERIES: usize = 10;
+
+/// Outcome of the rule stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleVerdict {
+    /// Violates a hard validity rule (cannot be rendered meaningfully).
+    Invalid(&'static str),
+    /// Renderable but obviously bad (the paper's Figure-7(a)/(c) cases).
+    Bad(&'static str),
+    /// Passes the rule stage; the classifier decides.
+    Pass,
+}
+
+impl RuleVerdict {
+    pub fn is_pass(self) -> bool {
+        self == RuleVerdict::Pass
+    }
+}
+
+/// Apply the expert rules to a chart's features.
+pub fn expert_rules(f: &ChartFeatures) -> RuleVerdict {
+    use ColumnType::*;
+    use RuleVerdict::*;
+
+    // (1) Single value: better shown as a table (Figure 7(c)).
+    if f.n_tuples == 0 {
+        return Invalid("empty result");
+    }
+    if f.n_tuples == 1 {
+        return Bad("single value result");
+    }
+
+    // Channel validity (Table 1): the y channel must be quantitative for
+    // every chart type; scatter additionally needs quantitative x.
+    if f.y_type != Quantitative {
+        if f.chart == ChartType::Line && f.x_type == Categorical {
+            return Invalid("line chart with two qualitative variables");
+        }
+        return Invalid("y channel must be quantitative");
+    }
+    match f.chart {
+        ChartType::Scatter | ChartType::GroupingScatter
+            if f.x_type != Quantitative => {
+                return Invalid("scatter needs a quantitative x");
+            }
+        ChartType::Line | ChartType::GroupingLine
+            // Lines over an unordered nominal axis with high cardinality are
+            // meaningless; temporal or quantitative x is fine.
+            if f.x_type == Categorical && f.unique_ratio >= 0.999 && f.n_distinct_x > 20 => {
+                return Bad("line over high-cardinality nominal axis");
+            }
+        ChartType::Pie => {
+            if f.x_type == Quantitative && f.unique_ratio >= 0.999 && f.n_distinct_x > MAX_PIE_SLICES
+            {
+                return Invalid("pie over a continuous variable");
+            }
+            if f.y_min < 0.0 {
+                return Invalid("pie with negative slice values");
+            }
+        }
+        _ => {}
+    }
+
+    // (2) Pie charts with many slices (Figure 7(a)).
+    if f.chart == ChartType::Pie && f.n_distinct_x > MAX_PIE_SLICES {
+        return Bad("too many pie slices");
+    }
+    // (3) Bar charts with too many categories.
+    if matches!(f.chart, ChartType::Bar | ChartType::StackedBar)
+        && f.n_distinct_x > MAX_BAR_CATEGORIES
+    {
+        return Bad("too many bar categories");
+    }
+    // Grouped charts need a real grouping, and not too many series.
+    if f.chart.is_grouped() {
+        if f.n_series < 2 {
+            return Bad("grouped chart with fewer than two series");
+        }
+        if f.n_series > MAX_SERIES {
+            return Bad("too many series");
+        }
+    }
+    RuleVerdict::Pass
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn feats(chart: ChartType) -> ChartFeatures {
+        ChartFeatures {
+            chart,
+            n_tuples: 8,
+            n_distinct_x: 8,
+            unique_ratio: 1.0,
+            x_type: ColumnType::Categorical,
+            y_type: ColumnType::Quantitative,
+            y_min: 0.0,
+            y_max: 100.0,
+            correlation: None,
+            n_series: 0,
+        }
+    }
+
+    #[test]
+    fn reasonable_bar_passes() {
+        assert!(expert_rules(&feats(ChartType::Bar)).is_pass());
+    }
+
+    #[test]
+    fn single_value_is_bad() {
+        let mut f = feats(ChartType::Bar);
+        f.n_tuples = 1;
+        f.n_distinct_x = 1;
+        assert_eq!(expert_rules(&f), RuleVerdict::Bad("single value result"));
+        f.n_tuples = 0;
+        assert!(matches!(expert_rules(&f), RuleVerdict::Invalid(_)));
+    }
+
+    #[test]
+    fn many_pie_slices_bad() {
+        let mut f = feats(ChartType::Pie);
+        f.n_distinct_x = 30;
+        f.n_tuples = 30;
+        assert_eq!(expert_rules(&f), RuleVerdict::Bad("too many pie slices"));
+        f.n_distinct_x = 6;
+        f.n_tuples = 6;
+        assert!(expert_rules(&f).is_pass());
+    }
+
+    #[test]
+    fn many_bar_categories_bad() {
+        let mut f = feats(ChartType::Bar);
+        f.n_distinct_x = 300;
+        f.n_tuples = 300;
+        assert_eq!(expert_rules(&f), RuleVerdict::Bad("too many bar categories"));
+    }
+
+    #[test]
+    fn line_two_qualitative_invalid() {
+        let mut f = feats(ChartType::Line);
+        f.y_type = ColumnType::Categorical;
+        assert_eq!(
+            expert_rules(&f),
+            RuleVerdict::Invalid("line chart with two qualitative variables")
+        );
+    }
+
+    #[test]
+    fn scatter_needs_numeric_x() {
+        let f = feats(ChartType::Scatter);
+        assert!(matches!(expert_rules(&f), RuleVerdict::Invalid(_)));
+        let mut f = feats(ChartType::Scatter);
+        f.x_type = ColumnType::Quantitative;
+        assert!(expert_rules(&f).is_pass());
+    }
+
+    #[test]
+    fn grouped_series_bounds() {
+        let mut f = feats(ChartType::StackedBar);
+        f.n_series = 1;
+        assert!(matches!(expert_rules(&f), RuleVerdict::Bad(_)));
+        f.n_series = 4;
+        assert!(expert_rules(&f).is_pass());
+        f.n_series = 40;
+        assert_eq!(expert_rules(&f), RuleVerdict::Bad("too many series"));
+    }
+
+    #[test]
+    fn negative_pie_invalid() {
+        let mut f = feats(ChartType::Pie);
+        f.y_min = -5.0;
+        assert!(matches!(expert_rules(&f), RuleVerdict::Invalid(_)));
+    }
+}

@@ -1,0 +1,224 @@
+//! ECharts option generation (§2.6 — the paper's second target language,
+//! ~320 lines of Python there).
+//!
+//! ECharts is series-oriented: grouped chart types pivot the data into one
+//! series per color value, sharing the category axis.
+
+use crate::chart::ChartData;
+use crate::vegalite::value_json;
+use nv_ast::ChartType;
+use nv_data::Value;
+use serde_json::{json, Value as Json};
+
+/// Build a complete ECharts `option` object for the chart data.
+pub fn to_echarts(cd: &ChartData) -> Json {
+    match cd.chart {
+        ChartType::Pie => pie_option(cd),
+        ChartType::Bar | ChartType::Line => simple_option(cd),
+        ChartType::Scatter => scatter_option(cd, false),
+        ChartType::GroupingScatter => scatter_option(cd, true),
+        ChartType::StackedBar | ChartType::GroupingLine => grouped_option(cd),
+    }
+}
+
+fn echart_kind(chart: ChartType) -> &'static str {
+    match chart {
+        ChartType::Bar | ChartType::StackedBar => "bar",
+        ChartType::Pie => "pie",
+        ChartType::Line | ChartType::GroupingLine => "line",
+        ChartType::Scatter | ChartType::GroupingScatter => "scatter",
+    }
+}
+
+fn pie_option(cd: &ChartData) -> Json {
+    let data: Vec<Json> = cd
+        .rows
+        .iter()
+        .map(|r| json!({ "name": r.x.label(), "value": value_json(&r.y) }))
+        .collect();
+    json!({
+        "title": { "text": format!("{} by {}", cd.y_name, cd.x_name) },
+        "tooltip": { "trigger": "item" },
+        "series": [{ "type": "pie", "radius": "60%", "data": data }],
+    })
+}
+
+fn simple_option(cd: &ChartData) -> Json {
+    let xs: Vec<Json> = cd.rows.iter().map(|r| json!(r.x.label())).collect();
+    let ys: Vec<Json> = cd.rows.iter().map(|r| value_json(&r.y)).collect();
+    json!({
+        "xAxis": { "type": "category", "name": cd.x_name, "data": xs },
+        "yAxis": { "type": "value", "name": cd.y_name },
+        "tooltip": {},
+        "series": [{ "type": echart_kind(cd.chart), "data": ys }],
+    })
+}
+
+fn scatter_option(cd: &ChartData, grouped: bool) -> Json {
+    if grouped {
+        let mut series = Vec::new();
+        for s in distinct_series(cd) {
+            let pts: Vec<Json> = cd
+                .rows
+                .iter()
+                .filter(|r| r.series.as_ref() == Some(&s))
+                .map(|r| json!([value_json(&r.x), value_json(&r.y)]))
+                .collect();
+            series.push(json!({ "type": "scatter", "name": s.label(), "data": pts }));
+        }
+        json!({
+            "xAxis": { "type": "value", "name": cd.x_name },
+            "yAxis": { "type": "value", "name": cd.y_name },
+            "legend": {},
+            "tooltip": {},
+            "series": series,
+        })
+    } else {
+        let pts: Vec<Json> = cd
+            .rows
+            .iter()
+            .map(|r| json!([value_json(&r.x), value_json(&r.y)]))
+            .collect();
+        json!({
+            "xAxis": { "type": "value", "name": cd.x_name },
+            "yAxis": { "type": "value", "name": cd.y_name },
+            "tooltip": {},
+            "series": [{ "type": "scatter", "data": pts }],
+        })
+    }
+}
+
+/// Pivot (x, y, series) into one ECharts series per distinct series value,
+/// aligned on the shared category axis.
+fn grouped_option(cd: &ChartData) -> Json {
+    let xs = distinct_x(cd);
+    let x_labels: Vec<Json> = xs.iter().map(|x| json!(x.label())).collect();
+    let stack = matches!(cd.chart, ChartType::StackedBar);
+    let mut series = Vec::new();
+    for s in distinct_series(cd) {
+        let mut data = vec![Json::Null; xs.len()];
+        for r in &cd.rows {
+            if r.series.as_ref() == Some(&s) {
+                if let Some(i) = xs.iter().position(|x| x == &r.x) {
+                    data[i] = value_json(&r.y);
+                }
+            }
+        }
+        let mut obj = json!({
+            "type": echart_kind(cd.chart),
+            "name": s.label(),
+            "data": data,
+        });
+        if stack {
+            obj["stack"] = json!("total");
+        }
+        series.push(obj);
+    }
+    json!({
+        "xAxis": { "type": "category", "name": cd.x_name, "data": x_labels },
+        "yAxis": { "type": "value", "name": cd.y_name },
+        "legend": {},
+        "tooltip": {},
+        "series": series,
+    })
+}
+
+fn distinct_x(cd: &ChartData) -> Vec<Value> {
+    let mut out: Vec<Value> = Vec::new();
+    for r in &cd.rows {
+        if !out.contains(&r.x) {
+            out.push(r.x.clone());
+        }
+    }
+    out
+}
+
+fn distinct_series(cd: &ChartData) -> Vec<Value> {
+    let mut out: Vec<Value> = Vec::new();
+    for r in &cd.rows {
+        if let Some(s) = &r.series {
+            if !out.contains(s) {
+                out.push(s.clone());
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::ChartRow;
+    use nv_data::ColumnType;
+
+    fn data(chart: ChartType) -> ChartData {
+        let grouped = chart.is_grouped();
+        ChartData {
+            chart,
+            x_name: "x".into(),
+            y_name: "y".into(),
+            series_name: grouped.then(|| "s".into()),
+            x_type: ColumnType::Categorical,
+            y_type: ColumnType::Quantitative,
+            rows: vec![
+                ChartRow {
+                    x: Value::text("a"),
+                    y: Value::Int(1),
+                    series: grouped.then(|| Value::text("g1")),
+                },
+                ChartRow {
+                    x: Value::text("a"),
+                    y: Value::Int(2),
+                    series: grouped.then(|| Value::text("g2")),
+                },
+                ChartRow {
+                    x: Value::text("b"),
+                    y: Value::Int(3),
+                    series: grouped.then(|| Value::text("g1")),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bar_option() {
+        let o = to_echarts(&data(ChartType::Bar));
+        assert_eq!(o["series"][0]["type"], json!("bar"));
+        assert_eq!(o["xAxis"]["data"].as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn pie_option_name_value() {
+        let o = to_echarts(&data(ChartType::Pie));
+        assert_eq!(o["series"][0]["type"], json!("pie"));
+        assert_eq!(o["series"][0]["data"][0]["name"], json!("a"));
+        assert_eq!(o["series"][0]["data"][0]["value"], json!(1));
+    }
+
+    #[test]
+    fn stacked_bar_pivots_series() {
+        let o = to_echarts(&data(ChartType::StackedBar));
+        let series = o["series"].as_array().unwrap();
+        assert_eq!(series.len(), 2); // g1, g2
+        assert_eq!(series[0]["stack"], json!("total"));
+        // g1 has values for both x=a and x=b; g2 only for a.
+        assert_eq!(series[0]["data"].as_array().unwrap().len(), 2);
+        assert_eq!(series[1]["data"][1], Json::Null);
+    }
+
+    #[test]
+    fn grouping_line_no_stack() {
+        let o = to_echarts(&data(ChartType::GroupingLine));
+        assert_eq!(o["series"][0]["type"], json!("line"));
+        assert!(o["series"][0]["stack"].is_null());
+    }
+
+    #[test]
+    fn scatter_points_are_pairs() {
+        let o = to_echarts(&data(ChartType::Scatter));
+        assert_eq!(o["series"][0]["data"][0], json!(["a", 1]));
+        let o = to_echarts(&data(ChartType::GroupingScatter));
+        assert_eq!(o["series"].as_array().unwrap().len(), 2);
+        assert!(o["legend"].is_object());
+    }
+}

@@ -1,0 +1,180 @@
+//! Vega-Lite code generation (§2.6 — the paper's first hard-coded target,
+//! ~240 lines of Python there; a `serde_json` spec builder here).
+
+use crate::chart::ChartData;
+use nv_ast::ChartType;
+use nv_data::{ColumnType, Value};
+use serde_json::{json, Map, Value as Json};
+
+/// Build a complete Vega-Lite v5 spec for the chart data.
+pub fn to_vega_lite(cd: &ChartData) -> Json {
+    let values: Vec<Json> = cd.rows.iter().map(|r| datum(cd, r)).collect();
+    let mut spec = Map::new();
+    spec.insert(
+        "$schema".into(),
+        json!("https://vega.github.io/schema/vega-lite/v5.json"),
+    );
+    spec.insert("data".into(), json!({ "values": values }));
+    spec.insert("mark".into(), mark(cd.chart));
+    spec.insert("encoding".into(), encoding(cd));
+    Json::Object(spec)
+}
+
+fn mark(chart: ChartType) -> Json {
+    match chart {
+        ChartType::Bar | ChartType::StackedBar => json!("bar"),
+        ChartType::Pie => json!({ "type": "arc", "tooltip": true }),
+        ChartType::Line | ChartType::GroupingLine => json!("line"),
+        ChartType::Scatter | ChartType::GroupingScatter => json!("point"),
+    }
+}
+
+fn field_type(t: ColumnType) -> &'static str {
+    match t {
+        ColumnType::Categorical => "nominal",
+        ColumnType::Temporal => "temporal",
+        ColumnType::Quantitative => "quantitative",
+    }
+}
+
+fn encoding(cd: &ChartData) -> Json {
+    let x = json!({ "field": "x", "type": field_type(cd.x_type), "title": cd.x_name });
+    let y = json!({ "field": "y", "type": field_type(cd.y_type), "title": cd.y_name });
+    match cd.chart {
+        ChartType::Pie => json!({
+            "theta": { "field": "y", "type": "quantitative", "title": cd.y_name },
+            "color": { "field": "x", "type": "nominal", "title": cd.x_name },
+        }),
+        ChartType::Bar | ChartType::Line | ChartType::Scatter => json!({ "x": x, "y": y }),
+        ChartType::StackedBar => json!({
+            "x": x,
+            "y": { "field": "y", "type": "quantitative", "title": cd.y_name,
+                   "stack": "zero" },
+            "color": series_enc(cd),
+        }),
+        ChartType::GroupingLine | ChartType::GroupingScatter => json!({
+            "x": x,
+            "y": y,
+            "color": series_enc(cd),
+        }),
+    }
+}
+
+fn series_enc(cd: &ChartData) -> Json {
+    json!({
+        "field": "series",
+        "type": "nominal",
+        "title": cd.series_name.clone().unwrap_or_default(),
+    })
+}
+
+fn datum(cd: &ChartData, r: &crate::chart::ChartRow) -> Json {
+    let mut m = Map::new();
+    m.insert("x".into(), value_json(&r.x));
+    m.insert("y".into(), value_json(&r.y));
+    if let Some(s) = &r.series {
+        m.insert("series".into(), value_json(s));
+    }
+    let _ = cd;
+    Json::Object(m)
+}
+
+/// Convert an engine value to JSON: numerics stay numeric, timestamps render
+/// ISO-style, nulls are JSON null.
+pub fn value_json(v: &Value) -> Json {
+    match v {
+        Value::Null => Json::Null,
+        Value::Bool(b) => json!(b),
+        Value::Int(i) => json!(i),
+        Value::Float(f) => json!(f),
+        Value::Text(s) => json!(s),
+        Value::Time(t) => json!(t.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chart::ChartRow;
+
+    fn data(chart: ChartType, grouped: bool) -> ChartData {
+        ChartData {
+            chart,
+            x_name: "t.cat".into(),
+            y_name: "count(t.*)".into(),
+            series_name: grouped.then(|| "t.grp".into()),
+            x_type: ColumnType::Categorical,
+            y_type: ColumnType::Quantitative,
+            rows: vec![
+                ChartRow {
+                    x: Value::text("a"),
+                    y: Value::Int(3),
+                    series: grouped.then(|| Value::text("g1")),
+                },
+                ChartRow {
+                    x: Value::text("b"),
+                    y: Value::Int(5),
+                    series: grouped.then(|| Value::text("g2")),
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn bar_spec_shape() {
+        let spec = to_vega_lite(&data(ChartType::Bar, false));
+        assert_eq!(spec["mark"], json!("bar"));
+        assert_eq!(spec["encoding"]["x"]["field"], json!("x"));
+        assert_eq!(spec["encoding"]["y"]["type"], json!("quantitative"));
+        assert_eq!(spec["data"]["values"].as_array().unwrap().len(), 2);
+        assert!(spec["$schema"].as_str().unwrap().contains("vega-lite"));
+    }
+
+    #[test]
+    fn pie_uses_theta_color() {
+        let spec = to_vega_lite(&data(ChartType::Pie, false));
+        assert_eq!(spec["mark"]["type"], json!("arc"));
+        assert_eq!(spec["encoding"]["theta"]["field"], json!("y"));
+        assert_eq!(spec["encoding"]["color"]["field"], json!("x"));
+        assert!(spec["encoding"]["x"].is_null());
+    }
+
+    #[test]
+    fn stacked_bar_has_color_and_stack() {
+        let spec = to_vega_lite(&data(ChartType::StackedBar, true));
+        assert_eq!(spec["encoding"]["color"]["field"], json!("series"));
+        assert_eq!(spec["encoding"]["y"]["stack"], json!("zero"));
+        let v0 = &spec["data"]["values"][0];
+        assert_eq!(v0["series"], json!("g1"));
+    }
+
+    #[test]
+    fn grouping_marks() {
+        assert_eq!(to_vega_lite(&data(ChartType::GroupingLine, true))["mark"], json!("line"));
+        assert_eq!(
+            to_vega_lite(&data(ChartType::GroupingScatter, true))["mark"],
+            json!("point")
+        );
+        assert_eq!(to_vega_lite(&data(ChartType::Scatter, false))["mark"], json!("point"));
+        assert_eq!(to_vega_lite(&data(ChartType::Line, false))["mark"], json!("line"));
+    }
+
+    #[test]
+    fn values_serialize_types() {
+        assert_eq!(value_json(&Value::Null), Json::Null);
+        assert_eq!(value_json(&Value::Int(3)), json!(3));
+        assert_eq!(value_json(&Value::Float(2.5)), json!(2.5));
+        assert_eq!(value_json(&Value::Bool(true)), json!(true));
+        assert_eq!(
+            value_json(&Value::Time(nv_data::Timestamp::date(2020, 1, 2))),
+            json!("2020-01-02")
+        );
+    }
+
+    #[test]
+    fn spec_is_serializable() {
+        let spec = to_vega_lite(&data(ChartType::Bar, false));
+        let s = serde_json::to_string(&spec).unwrap();
+        assert!(s.contains("\"values\""));
+    }
+}

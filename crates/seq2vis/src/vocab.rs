@@ -1,0 +1,188 @@
+//! Shared token vocabulary for the seq2vis models.
+//!
+//! One id space covers NL words, schema tokens (`table.column`) and VQL
+//! keywords — required by the copy mechanism (a source schema token can be
+//! emitted directly into the output). Literal values never enter the vocab:
+//! they are masked to `<value>` (paper §4.2: V-slots are filled by a
+//! heuristic, not predicted).
+
+use std::collections::HashMap;
+
+/// Special-token ids (fixed positions at the front of the vocab).
+pub const BOS: usize = 0;
+pub const EOS: usize = 1;
+pub const UNK: usize = 2;
+/// Masked literal value slot.
+pub const VALUE: usize = 3;
+/// Separator between the NL tokens and the appended schema tokens.
+pub const SEP: usize = 4;
+
+const SPECIALS: [&str; 5] = ["<bos>", "<eos>", "<unk>", "<value>", "<sep>"];
+
+/// A frozen token ↔ id mapping.
+#[derive(Debug, Clone)]
+pub struct Vocab {
+    tokens: Vec<String>,
+    index: HashMap<String, usize>,
+}
+
+impl Vocab {
+    /// Build from token streams, keeping tokens with frequency ≥ `min_freq`.
+    pub fn build<'a>(streams: impl Iterator<Item = &'a [String]>, min_freq: usize) -> Vocab {
+        let mut freq: HashMap<&str, usize> = HashMap::new();
+        for stream in streams {
+            for tok in stream {
+                *freq.entry(tok.as_str()).or_insert(0) += 1;
+            }
+        }
+        let mut kept: Vec<(&str, usize)> = freq
+            .into_iter()
+            .filter(|(t, c)| *c >= min_freq && !SPECIALS.contains(t))
+            .collect();
+        // Deterministic order: by frequency desc, then lexicographic.
+        kept.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(b.0)));
+
+        let mut tokens: Vec<String> = SPECIALS.iter().map(|s| s.to_string()).collect();
+        tokens.extend(kept.into_iter().map(|(t, _)| t.to_string()));
+        let index = tokens
+            .iter()
+            .enumerate()
+            .map(|(i, t)| (t.clone(), i))
+            .collect();
+        Vocab { tokens, index }
+    }
+
+    pub fn len(&self) -> usize {
+        self.tokens.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        false // specials are always present
+    }
+
+    pub fn id(&self, token: &str) -> usize {
+        *self.index.get(token).unwrap_or(&UNK)
+    }
+
+    pub fn contains(&self, token: &str) -> bool {
+        self.index.contains_key(token)
+    }
+
+    pub fn token(&self, id: usize) -> &str {
+        self.tokens.get(id).map(String::as_str).unwrap_or("<unk>")
+    }
+
+    pub fn encode(&self, tokens: &[String]) -> Vec<usize> {
+        tokens.iter().map(|t| self.id(t)).collect()
+    }
+
+    pub fn decode(&self, ids: &[usize]) -> Vec<String> {
+        ids.iter().map(|&i| self.token(i).to_string()).collect()
+    }
+}
+
+/// Tokenize an NL sentence for the encoder: lowercase, split punctuation,
+/// but keep single-quoted spans and `table.column`-shaped tokens intact.
+pub fn nl_tokens(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut chars = s.chars().peekable();
+    let mut cur = String::new();
+    let flush = |cur: &mut String, out: &mut Vec<String>| {
+        if !cur.is_empty() {
+            out.push(std::mem::take(cur).to_lowercase());
+        }
+    };
+    while let Some(c) = chars.next() {
+        match c {
+            '\'' => {
+                flush(&mut cur, &mut out);
+                let mut quoted = String::from("'");
+                for n in chars.by_ref() {
+                    quoted.push(n);
+                    if n == '\'' {
+                        break;
+                    }
+                }
+                out.push(quoted.to_lowercase());
+            }
+            c if c.is_whitespace() => flush(&mut cur, &mut out),
+            ',' | '?' | '!' | ';' | ':' | '(' | ')' => {
+                flush(&mut cur, &mut out);
+            }
+            '.' => {
+                // Keep dots inside identifiers/numbers (t.col, 3.5); strip
+                // sentence-final dots.
+                if cur.is_empty() || chars.peek().is_none_or(|n| n.is_whitespace()) {
+                    flush(&mut cur, &mut out);
+                } else {
+                    cur.push('.');
+                }
+            }
+            c => cur.push(c),
+        }
+    }
+    flush(&mut cur, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn specials_are_stable() {
+        let v = Vocab::build(std::iter::empty(), 1);
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.id("<bos>"), BOS);
+        assert_eq!(v.id("<eos>"), EOS);
+        assert_eq!(v.id("<unk>"), UNK);
+        assert_eq!(v.id("<value>"), VALUE);
+        assert_eq!(v.id("<sep>"), SEP);
+        assert!(!v.is_empty());
+    }
+
+    #[test]
+    fn build_respects_min_freq_and_is_deterministic() {
+        let a = vec!["apple".to_string(), "banana".into(), "apple".into()];
+        let b = vec!["apple".to_string(), "cherry".into()];
+        let v1 = Vocab::build([a.as_slice(), b.as_slice()].into_iter(), 2);
+        assert!(v1.contains("apple"));
+        assert!(!v1.contains("banana"));
+        let v2 = Vocab::build([a.as_slice(), b.as_slice()].into_iter(), 2);
+        assert_eq!(v1.decode(&[5]), v2.decode(&[5]));
+    }
+
+    #[test]
+    fn unknown_tokens_map_to_unk() {
+        let a = vec!["known".to_string()];
+        let v = Vocab::build([a.as_slice()].into_iter(), 1);
+        assert_eq!(v.id("mystery"), UNK);
+        assert_eq!(v.token(9999), "<unk>");
+        let enc = v.encode(&["known".into(), "mystery".into()]);
+        assert_eq!(enc[1], UNK);
+    }
+
+    #[test]
+    fn round_trip_encode_decode() {
+        let s = vec!["show".to_string(), "bar".into(), "chart".into()];
+        let v = Vocab::build([s.as_slice()].into_iter(), 1);
+        let ids = v.encode(&s);
+        assert_eq!(v.decode(&ids), s);
+    }
+
+    #[test]
+    fn nl_tokenizer_keeps_quotes_and_identifiers() {
+        let toks = nl_tokens("Show flights to 'New York', sorted by t.price desc.");
+        assert!(toks.contains(&"'new york'".to_string()), "{toks:?}");
+        assert!(toks.contains(&"t.price".to_string()));
+        assert!(toks.contains(&"sorted".to_string()));
+        assert!(!toks.iter().any(|t| t.contains(',')));
+        assert_eq!(*toks.last().unwrap(), "desc");
+    }
+
+    #[test]
+    fn nl_tokenizer_keeps_decimal_numbers() {
+        let toks = nl_tokens("gpa above 3.5 please");
+        assert!(toks.contains(&"3.5".to_string()), "{toks:?}");
+    }
+}

@@ -1,0 +1,470 @@
+//! Instantiate domain templates into populated databases.
+//!
+//! Data profiles target the paper's Table 2 / Figures 8–9 census:
+//! categorical-heavy column mix (~69% C / 12% T / 19% Q), 5–100 row tables
+//! with a long tail, quantitative columns dominated by log-normal shapes
+//! (with normal / exponential / power-law minorities, a bimodal "none"
+//! tail, and **no** uniform columns), plus skew and IQR-outlier profiles.
+
+use crate::template::{ColSpec, DomainTemplate, Pool, QuantKind, RowRegime, TableTemplate};
+use nv_data::{Column, ColumnType, Database, Table, TableSchema, Timestamp, Value};
+use nv_stats::Dist;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const FIRST_NAMES: &[&str] = &[
+    "Aaron", "Bella", "Carlos", "Diana", "Elif", "Farid", "Grace", "Hiro", "Ines", "Jamal",
+    "Kira", "Leo", "Mona", "Nils", "Omar", "Priya", "Quinn", "Rosa", "Sven", "Tara", "Uma",
+    "Viktor", "Wen", "Ximena", "Yusuf", "Zara",
+];
+
+const LAST_NAMES: &[&str] = &[
+    "Adams", "Baker", "Chen", "Diaz", "Egan", "Fischer", "Garcia", "Huang", "Ivanov", "Jones",
+    "Khan", "Lopez", "Moreau", "Nakamura", "Okafor", "Park", "Quispe", "Rossi", "Silva",
+    "Tanaka", "Umar", "Vargas", "Weber", "Xu", "Yilmaz", "Zhang",
+];
+
+const CITIES: &[&str] = &[
+    "Amsterdam", "Boston", "Cairo", "Doha", "Edinburgh", "Florence", "Geneva", "Hanoi",
+    "Istanbul", "Jakarta", "Kyoto", "Lima", "Madrid", "Nairobi", "Oslo", "Prague", "Quito",
+    "Riga", "Seoul", "Tunis", "Utrecht", "Vienna", "Warsaw", "Xian", "Yerevan", "Zagreb",
+];
+
+const ORG_ADJ: &[&str] = &[
+    "Global", "United", "Pioneer", "Summit", "Coastal", "Northern", "Silver", "Royal",
+    "Central", "Pacific", "Golden", "Crystal",
+];
+
+const ORG_NOUN: &[&str] = &[
+    "Systems", "Group", "Partners", "Works", "Labs", "Holdings", "Institute", "Collective",
+    "Union", "Consortium", "Alliance", "Network",
+];
+
+const PRODUCT_WORDS: &[&str] = &[
+    "Falcon", "Comet", "Atlas", "Nimbus", "Echo", "Vertex", "Quasar", "Prism", "Orchid",
+    "Ember", "Drift", "Beacon", "Harbor", "Cinder", "Mosaic", "Lumen",
+];
+
+fn pick<'a, R: Rng + ?Sized>(rng: &mut R, pool: &'a [&'a str]) -> &'a str {
+    pool[rng.random_range(0..pool.len())]
+}
+
+fn name_from_pool<R: Rng + ?Sized>(rng: &mut R, pool: Pool) -> String {
+    match pool {
+        Pool::Person => format!("{} {}", pick(rng, FIRST_NAMES), pick(rng, LAST_NAMES)),
+        Pool::City => pick(rng, CITIES).to_string(),
+        Pool::Org => format!("{} {}", pick(rng, ORG_ADJ), pick(rng, ORG_NOUN)),
+        Pool::Product => {
+            format!("{} {}", pick(rng, PRODUCT_WORDS), rng.random_range(100..999))
+        }
+    }
+}
+
+/// The numeric generator assigned to one quantitative column.
+#[derive(Debug, Clone, Copy)]
+enum NumGen {
+    Single(Dist),
+    /// Mixture of two modes — fits none of the six families (Figure 9(a)'s
+    /// "None" bucket).
+    Bimodal(Dist, Dist),
+}
+
+impl NumGen {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match self {
+            NumGen::Single(d) => d.sample(rng),
+            NumGen::Bimodal(a, b) => {
+                if rng.random::<f64>() < 0.5 {
+                    a.sample(rng)
+                } else {
+                    b.sample(rng)
+                }
+            }
+        }
+    }
+}
+
+/// Choose a per-column numeric generator honoring the Figure-9(a) family mix.
+fn quant_generator<R: Rng + ?Sized>(rng: &mut R, kind: QuantKind) -> NumGen {
+    let roll: f64 = rng.random();
+    match kind {
+        QuantKind::Money => {
+            let mu = rng.random_range(5.0..9.0);
+            let sigma = rng.random_range(0.5..1.1);
+            if roll < 0.55 {
+                NumGen::Single(Dist::LogNormal { mu, sigma })
+            } else if roll < 0.70 {
+                NumGen::Single(Dist::PowerLaw { x_min: 100.0, alpha: 2.3 })
+            } else if roll < 0.85 {
+                NumGen::Single(Dist::Exponential { rate: 1.0 / mu.exp() })
+            } else {
+                NumGen::Bimodal(
+                    Dist::Normal { mean: mu.exp() * 0.3, sd: mu.exp() * 0.05 },
+                    Dist::Normal { mean: mu.exp() * 2.0, sd: mu.exp() * 0.1 },
+                )
+            }
+        }
+        QuantKind::Count => {
+            let mu = rng.random_range(1.5..6.0);
+            if roll < 0.5 {
+                NumGen::Single(Dist::LogNormal { mu, sigma: rng.random_range(0.4..1.0) })
+            } else if roll < 0.8 {
+                NumGen::Single(Dist::Exponential { rate: 1.0 / mu.exp() })
+            } else {
+                NumGen::Single(Dist::ChiSquare { k: rng.random_range(2.0..9.0) })
+            }
+        }
+        QuantKind::Age => NumGen::Single(Dist::Normal {
+            mean: rng.random_range(28.0..45.0),
+            sd: rng.random_range(6.0..14.0),
+        }),
+        QuantKind::Score => {
+            if roll < 0.8 {
+                NumGen::Single(Dist::Normal {
+                    mean: rng.random_range(55.0..80.0),
+                    sd: rng.random_range(8.0..18.0),
+                })
+            } else {
+                NumGen::Bimodal(
+                    Dist::Normal { mean: 40.0, sd: 5.0 },
+                    Dist::Normal { mean: 85.0, sd: 5.0 },
+                )
+            }
+        }
+        QuantKind::Measure => {
+            let mu = rng.random_range(2.0..7.0);
+            if roll < 0.6 {
+                NumGen::Single(Dist::LogNormal { mu, sigma: rng.random_range(0.4..1.2) })
+            } else if roll < 0.85 {
+                NumGen::Single(Dist::Exponential { rate: 1.0 / mu.exp() })
+            } else {
+                NumGen::Single(Dist::PowerLaw { x_min: 1.0, alpha: 2.6 })
+            }
+        }
+    }
+}
+
+fn row_count<R: Rng + ?Sized>(rng: &mut R, regime: RowRegime) -> usize {
+    match regime {
+        RowRegime::Tiny => rng.random_range(3..=15),
+        RowRegime::Small => rng.random_range(5..=100),
+        RowRegime::Large => {
+            // Log-uniform over [100, 2000] for the long tail.
+            let lo: f64 = 100.0_f64.ln();
+            let hi: f64 = 2000.0_f64.ln();
+            (lo + (hi - lo) * rng.random::<f64>()).exp() as usize
+        }
+    }
+}
+
+fn declared_type(spec: &ColSpec) -> ColumnType {
+    match spec {
+        // Identifiers carry categorical semantics even when stored as ints
+        // (matches the paper's 68.8%-categorical census; IDs are not
+        // analyzed as quantitative columns).
+        ColSpec::Pk | ColSpec::Fk(_) | ColSpec::Category(_) | ColSpec::Name(_) | ColSpec::Flag => {
+            ColumnType::Categorical
+        }
+        ColSpec::Quant(_) | ColSpec::IntRange(..) => ColumnType::Quantitative,
+        ColSpec::Temporal(..) => ColumnType::Temporal,
+    }
+}
+
+fn random_date<R: Rng + ?Sized>(rng: &mut R, start_year: i32, end_year: i32) -> Timestamp {
+    let year = rng.random_range(start_year..=end_year);
+    let month = rng.random_range(1..=12u8);
+    let day = rng.random_range(1..=28u8);
+    if rng.random::<f64>() < 0.25 {
+        Timestamp::datetime(year, month, day, rng.random_range(0..24), rng.random_range(0..60))
+    } else {
+        Timestamp::date(year, month, day)
+    }
+}
+
+/// Zipf-ish weighted index: favors early pool entries so categorical columns
+/// come out skewed like real data.
+fn zipf_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    let weights: Vec<f64> = (1..=n).map(|i| 1.0 / (i as f64).powf(0.8)).collect();
+    let total: f64 = weights.iter().sum();
+    let mut roll = rng.random::<f64>() * total;
+    for (i, w) in weights.iter().enumerate() {
+        roll -= w;
+        if roll <= 0.0 {
+            return i;
+        }
+    }
+    n - 1
+}
+
+/// Generate one populated database from a template.
+///
+/// `db_index` differentiates repeated instantiations of the same template
+/// (database names get a numeric suffix; data differs by the derived seed).
+pub fn generate_database(tpl: &DomainTemplate, db_index: usize, seed: u64) -> Database {
+    let mut rng = StdRng::seed_from_u64(
+        seed ^ (db_index as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15),
+    );
+    let name = format!("{}_{db_index}", tpl.domain.to_lowercase());
+    let mut db = Database::new(name, tpl.domain);
+
+    // Primary keys generated so far, for FK sampling. Templates list parent
+    // tables before children (asserted in tests).
+    let mut pks: HashMap<&'static str, Vec<i64>> = HashMap::new();
+
+    for table_tpl in &tpl.tables {
+        let mut table = generate_table(&mut rng, table_tpl, &pks);
+        induce_correlations(&mut rng, &mut table);
+        // Remember this table's pks.
+        let ids: Vec<i64> = table
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Int(i) => *i,
+                _ => unreachable!("pk is always Int"),
+            })
+            .collect();
+        pks.insert(table_tpl.name, ids);
+        db.add_table(table);
+    }
+
+    for (from_t, from_c, to_t) in crate::template::template_fks(tpl) {
+        let to_pk = tpl
+            .tables
+            .iter()
+            .find(|t| t.name == to_t)
+            .map(|t| t.columns[0].0)
+            .unwrap_or("id");
+        db.add_foreign_key(from_t, from_c, to_t, to_pk);
+    }
+    db
+}
+
+/// Real tables carry correlated measures (price↔total, age↔salary, …);
+/// independent sampling would leave every scatter chart uninformative and
+/// filtered out. With some probability, rewrite a second quantitative column
+/// as a linear blend of a first plus noise, inducing |r| ≈ 0.5–0.9.
+fn induce_correlations(rng: &mut StdRng, table: &mut Table) {
+    let quant_idx: Vec<usize> = table
+        .schema
+        .columns
+        .iter()
+        .enumerate()
+        .filter(|(_, c)| c.ctype == ColumnType::Quantitative)
+        .map(|(i, _)| i)
+        .collect();
+    if quant_idx.len() < 2 || table.rows.len() < 3 {
+        return;
+    }
+    for pair in quant_idx.windows(2) {
+        if rng.random::<f64>() >= 0.45 {
+            continue;
+        }
+        let (src, dst) = (pair[0], pair[1]);
+        let mean = |i: usize| {
+            let v: Vec<f64> = table.rows.iter().filter_map(|r| r[i].as_f64()).collect();
+            if v.is_empty() { 1.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
+        };
+        let (m_src, m_dst) = (mean(src).max(1e-9), mean(dst).max(1e-9));
+        let alpha = rng.random_range(0.55..0.9);
+        let negate = rng.random::<f64>() < 0.25;
+        for row in &mut table.rows {
+            let (Some(s), Some(d)) = (row[src].as_f64(), row[dst].as_f64()) else { continue };
+            let scaled = if negate { (2.0 - s / m_src) * m_dst } else { s / m_src * m_dst };
+            let blended = (alpha * scaled + (1.0 - alpha) * d).max(0.0);
+            row[dst] = match row[dst] {
+                Value::Int(_) => Value::Int(blended.round() as i64),
+                _ => Value::Float((blended * 100.0).round() / 100.0),
+            };
+        }
+    }
+}
+
+fn generate_table(
+    rng: &mut StdRng,
+    tpl: &TableTemplate,
+    pks: &HashMap<&'static str, Vec<i64>>,
+) -> Table {
+    let n = row_count(rng, tpl.rows);
+    let schema = TableSchema {
+        name: tpl.name.to_string(),
+        columns: tpl
+            .columns
+            .iter()
+            .map(|(cname, spec)| Column::new(*cname, declared_type(spec)))
+            .collect(),
+        primary_key: Some(0),
+    };
+
+    // Per-column generators and null rates are fixed up front so each column
+    // has a coherent profile.
+    let gens: Vec<Option<NumGen>> = tpl
+        .columns
+        .iter()
+        .map(|(_, spec)| match spec {
+            ColSpec::Quant(kind) => Some(quant_generator(rng, *kind)),
+            _ => None,
+        })
+        .collect();
+    let null_rates: Vec<f64> = tpl
+        .columns
+        .iter()
+        .map(|(_, spec)| match spec {
+            ColSpec::Pk | ColSpec::Fk(_) => 0.0,
+            _ => {
+                if rng.random::<f64>() < 0.3 {
+                    rng.random_range(0.0..0.05)
+                } else {
+                    0.0
+                }
+            }
+        })
+        .collect();
+
+    let mut rows = Vec::with_capacity(n);
+    for row_i in 0..n {
+        let mut row = Vec::with_capacity(tpl.columns.len());
+        for (ci, (_, spec)) in tpl.columns.iter().enumerate() {
+            if rng.random::<f64>() < null_rates[ci] {
+                row.push(Value::Null);
+                continue;
+            }
+            let v = match spec {
+                ColSpec::Pk => Value::Int(row_i as i64 + 1),
+                ColSpec::Fk(target) => {
+                    let parents = pks.get(target).expect("parent table generated first");
+                    Value::Int(parents[rng.random_range(0..parents.len())])
+                }
+                ColSpec::Category(vals) => Value::text(vals[zipf_index(rng, vals.len())]),
+                ColSpec::Name(pool) => Value::text(name_from_pool(rng, *pool)),
+                ColSpec::Quant(kind) => {
+                    let raw = gens[ci].as_ref().unwrap().sample(rng).max(0.0);
+                    match kind {
+                        QuantKind::Count => Value::Int(raw.round() as i64),
+                        QuantKind::Age => Value::Int(raw.round().clamp(16.0, 90.0) as i64),
+                        QuantKind::Score => Value::Float((raw.clamp(0.0, 100.0) * 10.0).round() / 10.0),
+                        _ => Value::Float((raw * 100.0).round() / 100.0),
+                    }
+                }
+                ColSpec::IntRange(lo, hi) => Value::Int(rng.random_range(*lo..=*hi)),
+                ColSpec::Temporal(y0, y1) => Value::Time(random_date(rng, *y0, *y1)),
+                ColSpec::Flag => Value::text(if rng.random::<f64>() < 0.5 { "yes" } else { "no" }),
+            };
+            row.push(v);
+        }
+        rows.push(row);
+    }
+    Table { schema, rows }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::template::domain_templates;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let tpl = &domain_templates()[0];
+        let a = generate_database(tpl, 3, 42);
+        let b = generate_database(tpl, 3, 42);
+        assert_eq!(a, b);
+        let c = generate_database(tpl, 4, 42);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn fk_values_reference_parent_pks() {
+        for tpl in domain_templates() {
+            let db = generate_database(&tpl, 0, 7);
+            for fk in &db.foreign_keys {
+                let parent = db.table(&fk.to_table).unwrap();
+                let pk_idx = parent.schema.column_index(&fk.to_column).unwrap();
+                let parent_ids: std::collections::HashSet<&Value> =
+                    parent.rows.iter().map(|r| &r[pk_idx]).collect();
+                let child = db.table(&fk.from_table).unwrap();
+                let fk_idx = child.schema.column_index(&fk.from_column).unwrap();
+                for r in &child.rows {
+                    assert!(
+                        parent_ids.contains(&r[fk_idx]),
+                        "{}.{} dangling fk {:?}",
+                        fk.from_table,
+                        fk.from_column,
+                        r[fk_idx]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pks_are_unique_and_dense() {
+        let tpl = &domain_templates()[1];
+        let db = generate_database(tpl, 0, 9);
+        for t in &db.tables {
+            let ids: Vec<i64> = t
+                .rows
+                .iter()
+                .map(|r| if let Value::Int(i) = r[0] { i } else { panic!() })
+                .collect();
+            let set: std::collections::HashSet<_> = ids.iter().collect();
+            assert_eq!(set.len(), ids.len(), "pk not unique in {}", t.name());
+            assert_eq!(*ids.iter().max().unwrap(), ids.len() as i64);
+        }
+    }
+
+    #[test]
+    fn declared_types_follow_specs() {
+        let tpl = domain_templates()
+            .into_iter()
+            .find(|t| t.domain == "Student")
+            .unwrap();
+        let db = generate_database(&tpl, 0, 1);
+        let student = db.table("student").unwrap();
+        assert_eq!(student.schema.column("major").unwrap().ctype, ColumnType::Categorical);
+        assert_eq!(student.schema.column("gpa").unwrap().ctype, ColumnType::Quantitative);
+        assert_eq!(student.schema.column("enrolled").unwrap().ctype, ColumnType::Temporal);
+        assert_eq!(student.schema.column("student_id").unwrap().ctype, ColumnType::Categorical);
+    }
+
+    #[test]
+    fn row_regimes_respected() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert!((3..=15).contains(&row_count(&mut rng, RowRegime::Tiny)));
+            assert!((5..=100).contains(&row_count(&mut rng, RowRegime::Small)));
+            let l = row_count(&mut rng, RowRegime::Large);
+            assert!((100..=2000).contains(&l), "{l}");
+        }
+    }
+
+    #[test]
+    fn quantitative_values_mostly_valid() {
+        let tpl = domain_templates()
+            .into_iter()
+            .find(|t| t.domain == "Employee")
+            .unwrap();
+        let db = generate_database(&tpl, 0, 11);
+        let emp = db.table("employee").unwrap();
+        let sal_idx = emp.schema.column_index("salary").unwrap();
+        let ages = emp.column_values_by_name("age").unwrap();
+        for r in &emp.rows {
+            if let Some(f) = r[sal_idx].as_f64() {
+                assert!(f >= 0.0);
+            }
+        }
+        for a in ages.iter().filter(|a| !a.is_null()) {
+            let v = a.as_f64().unwrap();
+            assert!((16.0..=90.0).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn zipf_skews_categories() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 5];
+        for _ in 0..5000 {
+            counts[zipf_index(&mut rng, 5)] += 1;
+        }
+        assert!(counts[0] > counts[4], "{counts:?}");
+    }
+}

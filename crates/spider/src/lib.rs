@@ -1,0 +1,25 @@
+//! # nv-spider — synthetic Spider-style NL2SQL benchmark substrate
+//!
+//! The nvBench paper piggybacks the Spider benchmark (200 databases, 10,181
+//! human-written (NL, SQL) pairs). Spider is an external download, so this
+//! crate regenerates a statistically-matched substitute (see DESIGN.md,
+//! Substitution 1): domain templates ([`template`]) are instantiated into
+//! populated databases ([`datagen`]) whose column-type mix, row counts,
+//! value distributions, skew and outlier profiles follow the paper's
+//! Table 2 / Figures 8–9 census, and compositional NL templates generate
+//! (NL, SQL) pairs spanning the full Spider clause space ([`querygen`]).
+//!
+//! [`corpus`] assembles full corpora; [`covid`] rebuilds the §4.6 COVID-19
+//! case study.
+
+pub mod corpus;
+pub mod covid;
+pub mod datagen;
+pub mod querygen;
+pub mod template;
+
+pub use corpus::{CorpusConfig, SpiderCorpus};
+pub use covid::{covid_cases, covid_database, CovidCase};
+pub use datagen::generate_database;
+pub use querygen::{display, plural, QueryGen, QueryGenConfig, SpiderPair};
+pub use template::{domain_templates, ColSpec, DomainTemplate, Pool, QuantKind, RowRegime};

@@ -1,0 +1,591 @@
+//! Schema templates: the vocabulary from which synthetic cross-domain
+//! databases are generated.
+//!
+//! The real Spider benchmark spans 200 databases over 138 domains; nvBench
+//! keeps 153 databases over 105 domains (Table 2). Since Spider itself is an
+//! external download, we regenerate databases from **domain templates**:
+//! each names a domain (Sport, Customer, School, …, matching the paper's
+//! top-5 list), a handful of related tables, realistic typed columns and the
+//! foreign keys connecting them. The generator then instantiates every
+//! template many times with varied data (and table-count jitter) to reach
+//! Spider-scale coverage.
+
+/// How a column's data is produced.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ColSpec {
+    /// Integer primary key (dense, unique).
+    Pk,
+    /// Foreign key to the named table's primary key.
+    Fk(&'static str),
+    /// Categorical with the given value pool.
+    Category(&'static [&'static str]),
+    /// Human-ish names from a pool.
+    Name(Pool),
+    /// Quantitative, distribution chosen per the Figure-9(a) mix.
+    Quant(QuantKind),
+    /// Uniform integers in [lo, hi].
+    IntRange(i64, i64),
+    /// Timestamps with dates in [start_year, end_year].
+    Temporal(i32, i32),
+    /// Booleans as yes/no categories.
+    Flag,
+}
+
+/// Name pools for text columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pool {
+    Person,
+    City,
+    Org,
+    Product,
+}
+
+/// Scale/rounding profile for quantitative columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuantKind {
+    /// Prices, budgets, salaries — positive, right-skewed, 2 decimals.
+    Money,
+    /// Counts of things — non-negative integers.
+    Count,
+    /// Human ages — near-normal integers.
+    Age,
+    /// Scores/percentages — bounded floats.
+    Score,
+    /// Physical measures (distance, weight, duration) — positive floats.
+    Measure,
+}
+
+/// Typical row-count regime of a table (Figure 8(b): most tables hold 5–100
+/// rows, with a long tail).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RowRegime {
+    /// 3–15 rows (lookup tables).
+    Tiny,
+    /// 5–100 rows (the bulk).
+    Small,
+    /// 100–2,000 rows (fact tables; the paper's tail reaches 183,978 — we
+    /// cap lower to keep full-corpus runs fast, noted in EXPERIMENTS.md).
+    Large,
+}
+
+/// One table in a domain template.
+#[derive(Debug, Clone)]
+pub struct TableTemplate {
+    pub name: &'static str,
+    pub columns: Vec<(&'static str, ColSpec)>,
+    pub rows: RowRegime,
+}
+
+/// One domain template.
+#[derive(Debug, Clone)]
+pub struct DomainTemplate {
+    pub domain: &'static str,
+    pub tables: Vec<TableTemplate>,
+}
+
+fn t(
+    name: &'static str,
+    rows: RowRegime,
+    columns: Vec<(&'static str, ColSpec)>,
+) -> TableTemplate {
+    TableTemplate { name, columns, rows }
+}
+
+/// The full template library: 15 domains, 61 tables.
+pub fn domain_templates() -> Vec<DomainTemplate> {
+    use ColSpec::*;
+    use QuantKind::*;
+    use RowRegime::*;
+
+    vec![
+        DomainTemplate {
+            domain: "Sport",
+            tables: vec![
+                t("team", Tiny, vec![
+                    ("team_id", Pk),
+                    ("team_name", Name(Pool::Org)),
+                    ("city", Name(Pool::City)),
+                    ("founded", Temporal(1900, 2000)),
+                    ("budget", Quant(Money)),
+                ]),
+                t("player", Small, vec![
+                    ("player_id", Pk),
+                    ("player_name", Name(Pool::Person)),
+                    ("team_id", Fk("team")),
+                    ("position", Category(&["guard", "forward", "center", "keeper", "winger"])),
+                    ("age", Quant(Age)),
+                    ("salary", Quant(Money)),
+                    ("goals", Quant(Count)),
+                ]),
+                t("game", Large, vec![
+                    ("game_id", Pk),
+                    ("home_team", Fk("team")),
+                    ("game_date", Temporal(2010, 2021)),
+                    ("attendance", Quant(Count)),
+                    ("score", Quant(Score)),
+                    ("season", Category(&["spring", "summer", "fall", "winter"])),
+                ]),
+                t("stadium", Tiny, vec![
+                    ("stadium_id", Pk),
+                    ("stadium_name", Name(Pool::Org)),
+                    ("capacity", Quant(Count)),
+                    ("opened", Temporal(1950, 2015)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Customer",
+            tables: vec![
+                t("customer", Small, vec![
+                    ("customer_id", Pk),
+                    ("customer_name", Name(Pool::Person)),
+                    ("city", Name(Pool::City)),
+                    ("segment", Category(&["consumer", "corporate", "home_office"])),
+                    ("credit_limit", Quant(Money)),
+                    ("signup_date", Temporal(2012, 2021)),
+                ]),
+                t("account", Small, vec![
+                    ("account_id", Pk),
+                    ("customer_id", Fk("customer")),
+                    ("balance", Quant(Money)),
+                    ("account_type", Category(&["checking", "savings", "credit"])),
+                    ("opened", Temporal(2012, 2021)),
+                ]),
+                t("payment", Large, vec![
+                    ("payment_id", Pk),
+                    ("account_id", Fk("account")),
+                    ("amount", Quant(Money)),
+                    ("method", Category(&["card", "cash", "transfer", "cheque"])),
+                    ("paid_at", Temporal(2015, 2021)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "School",
+            tables: vec![
+                t("school", Tiny, vec![
+                    ("school_id", Pk),
+                    ("school_name", Name(Pool::Org)),
+                    ("city", Name(Pool::City)),
+                    ("enrollment", Quant(Count)),
+                    ("founded", Temporal(1900, 1995)),
+                ]),
+                t("teacher", Small, vec![
+                    ("teacher_id", Pk),
+                    ("teacher_name", Name(Pool::Person)),
+                    ("school_id", Fk("school")),
+                    ("subject", Category(&["math", "science", "history", "art", "music"])),
+                    ("salary", Quant(Money)),
+                    ("years_experience", Quant(Count)),
+                ]),
+                t("class", Small, vec![
+                    ("class_id", Pk),
+                    ("teacher_id", Fk("teacher")),
+                    ("grade_level", IntRange(1, 12)),
+                    ("class_size", Quant(Count)),
+                    ("room", IntRange(100, 399)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Shop",
+            tables: vec![
+                t("shop", Tiny, vec![
+                    ("shop_id", Pk),
+                    ("shop_name", Name(Pool::Org)),
+                    ("district", Name(Pool::City)),
+                    ("open_year", Temporal(1990, 2020)),
+                    ("staff_count", Quant(Count)),
+                ]),
+                t("product", Small, vec![
+                    ("product_id", Pk),
+                    ("product_name", Name(Pool::Product)),
+                    ("category", Category(&["electronics", "clothing", "food", "toys", "books"])),
+                    ("price", Quant(Money)),
+                    ("stock", Quant(Count)),
+                ]),
+                t("sale", Large, vec![
+                    ("sale_id", Pk),
+                    ("shop_id", Fk("shop")),
+                    ("product_id", Fk("product")),
+                    ("quantity", Quant(Count)),
+                    ("total", Quant(Money)),
+                    ("sold_at", Temporal(2018, 2021)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Student",
+            tables: vec![
+                t("student", Small, vec![
+                    ("student_id", Pk),
+                    ("student_name", Name(Pool::Person)),
+                    ("major", Category(&["cs", "math", "physics", "biology", "history", "economics"])),
+                    ("age", Quant(Age)),
+                    ("gpa", Quant(Score)),
+                    ("enrolled", Temporal(2015, 2021)),
+                ]),
+                t("course", Tiny, vec![
+                    ("course_id", Pk),
+                    ("course_name", Name(Pool::Org)),
+                    ("credits", IntRange(1, 5)),
+                    ("department", Category(&["cs", "math", "physics", "biology", "history"])),
+                ]),
+                t("enrollment", Large, vec![
+                    ("enroll_id", Pk),
+                    ("student_id", Fk("student")),
+                    ("course_id", Fk("course")),
+                    ("grade", Quant(Score)),
+                    ("semester", Category(&["fall", "spring", "summer"])),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Flight",
+            tables: vec![
+                t("airport", Tiny, vec![
+                    ("airport_id", Pk),
+                    ("airport_name", Name(Pool::Org)),
+                    ("city", Name(Pool::City)),
+                    ("elevation", Quant(Measure)),
+                ]),
+                t("airline", Tiny, vec![
+                    ("airline_id", Pk),
+                    ("airline_name", Name(Pool::Org)),
+                    ("fleet_size", Quant(Count)),
+                    ("founded", Temporal(1940, 2010)),
+                ]),
+                t("flight", Large, vec![
+                    ("flight_id", Pk),
+                    ("airline_id", Fk("airline")),
+                    ("origin", Fk("airport")),
+                    ("destination", Category(&["north", "south", "east", "west", "central"])),
+                    ("price", Quant(Money)),
+                    ("distance", Quant(Measure)),
+                    ("departure", Temporal(2019, 2021)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "College",
+            tables: vec![
+                t("department", Tiny, vec![
+                    ("dept_id", Pk),
+                    ("dept_name", Category(&["engineering", "arts", "science", "law", "medicine"])),
+                    ("budget", Quant(Money)),
+                    ("head_count", Quant(Count)),
+                ]),
+                t("faculty", Small, vec![
+                    ("faculty_id", Pk),
+                    ("faculty_name", Name(Pool::Person)),
+                    ("dept_id", Fk("department")),
+                    ("sex", Category(&["male", "female"])),
+                    ("rank", Category(&["assistant", "associate", "full"])),
+                    ("salary", Quant(Money)),
+                    ("hired", Temporal(1990, 2021)),
+                ]),
+                t("grant_award", Small, vec![
+                    ("grant_id", Pk),
+                    ("faculty_id", Fk("faculty")),
+                    ("amount", Quant(Money)),
+                    ("awarded", Temporal(2005, 2021)),
+                    ("agency", Category(&["nsf", "nih", "doe", "industry"])),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Hospital",
+            tables: vec![
+                t("physician", Small, vec![
+                    ("physician_id", Pk),
+                    ("physician_name", Name(Pool::Person)),
+                    ("specialty", Category(&["cardiology", "oncology", "pediatrics", "surgery", "radiology"])),
+                    ("salary", Quant(Money)),
+                    ("years_practice", Quant(Count)),
+                ]),
+                t("patient", Small, vec![
+                    ("patient_id", Pk),
+                    ("patient_name", Name(Pool::Person)),
+                    ("age", Quant(Age)),
+                    ("blood_type", Category(&["A", "B", "AB", "O"])),
+                    ("admitted", Temporal(2018, 2021)),
+                ]),
+                t("appointment", Large, vec![
+                    ("appt_id", Pk),
+                    ("physician_id", Fk("physician")),
+                    ("patient_id", Fk("patient")),
+                    ("scheduled", Temporal(2019, 2021)),
+                    ("cost", Quant(Money)),
+                    ("status", Category(&["completed", "cancelled", "no_show"])),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "TvShow",
+            tables: vec![
+                t("channel", Tiny, vec![
+                    ("channel_id", Pk),
+                    ("channel_name", Name(Pool::Org)),
+                    ("share", Quant(Score)),
+                    ("launched", Temporal(1980, 2015)),
+                ]),
+                t("program", Small, vec![
+                    ("program_id", Pk),
+                    ("program_name", Name(Pool::Product)),
+                    ("channel_id", Fk("channel")),
+                    ("genre", Category(&["drama", "comedy", "news", "sports", "documentary"])),
+                    ("rating", Quant(Score)),
+                    ("episodes", Quant(Count)),
+                ]),
+                t("broadcast", Large, vec![
+                    ("broadcast_id", Pk),
+                    ("program_id", Fk("program")),
+                    ("air_date", Temporal(2015, 2021)),
+                    ("viewers", Quant(Count)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Government",
+            tables: vec![
+                t("region", Tiny, vec![
+                    ("region_id", Pk),
+                    ("region_name", Name(Pool::City)),
+                    ("population", Quant(Count)),
+                    ("area", Quant(Measure)),
+                ]),
+                t("official", Small, vec![
+                    ("official_id", Pk),
+                    ("official_name", Name(Pool::Person)),
+                    ("region_id", Fk("region")),
+                    ("party", Category(&["red", "blue", "green", "independent"])),
+                    ("age", Quant(Age)),
+                    ("elected", Temporal(2000, 2021)),
+                ]),
+                t("budget_item", Small, vec![
+                    ("item_id", Pk),
+                    ("region_id", Fk("region")),
+                    ("sector", Category(&["education", "health", "transport", "defense", "culture"])),
+                    ("amount", Quant(Money)),
+                    ("fiscal_year", IntRange(2010, 2021)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Music",
+            tables: vec![
+                t("artist", Small, vec![
+                    ("artist_id", Pk),
+                    ("artist_name", Name(Pool::Person)),
+                    ("genre", Category(&["rock", "pop", "jazz", "classical", "folk", "electronic"])),
+                    ("debut", Temporal(1970, 2018)),
+                    ("followers", Quant(Count)),
+                ]),
+                t("album", Small, vec![
+                    ("album_id", Pk),
+                    ("album_name", Name(Pool::Product)),
+                    ("artist_id", Fk("artist")),
+                    ("released", Temporal(1980, 2021)),
+                    ("sales", Quant(Count)),
+                    ("rating", Quant(Score)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Employee",
+            tables: vec![
+                t("company", Tiny, vec![
+                    ("company_id", Pk),
+                    ("company_name", Name(Pool::Org)),
+                    ("industry", Category(&["tech", "finance", "retail", "energy", "media"])),
+                    ("revenue", Quant(Money)),
+                    ("founded", Temporal(1950, 2015)),
+                ]),
+                t("employee", Small, vec![
+                    ("employee_id", Pk),
+                    ("employee_name", Name(Pool::Person)),
+                    ("company_id", Fk("company")),
+                    ("title", Category(&["engineer", "manager", "analyst", "director", "intern"])),
+                    ("salary", Quant(Money)),
+                    ("age", Quant(Age)),
+                    ("hired", Temporal(2005, 2021)),
+                ]),
+                t("evaluation", Small, vec![
+                    ("eval_id", Pk),
+                    ("employee_id", Fk("employee")),
+                    ("year", IntRange(2015, 2021)),
+                    ("score", Quant(Score)),
+                    ("bonus", Quant(Money)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Restaurant",
+            tables: vec![
+                t("restaurant", Small, vec![
+                    ("restaurant_id", Pk),
+                    ("restaurant_name", Name(Pool::Org)),
+                    ("cuisine", Category(&["italian", "chinese", "mexican", "indian", "french"])),
+                    ("city", Name(Pool::City)),
+                    ("rating", Quant(Score)),
+                    ("seats", Quant(Count)),
+                ]),
+                t("dish", Small, vec![
+                    ("dish_id", Pk),
+                    ("dish_name", Name(Pool::Product)),
+                    ("restaurant_id", Fk("restaurant")),
+                    ("price", Quant(Money)),
+                    ("calories", Quant(Measure)),
+                    ("vegetarian", Flag),
+                ]),
+                t("review", Large, vec![
+                    ("review_id", Pk),
+                    ("restaurant_id", Fk("restaurant")),
+                    ("stars", IntRange(1, 5)),
+                    ("reviewed", Temporal(2016, 2021)),
+                    ("helpful_votes", Quant(Count)),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Weather",
+            tables: vec![
+                t("station", Tiny, vec![
+                    ("station_id", Pk),
+                    ("station_name", Name(Pool::City)),
+                    ("elevation", Quant(Measure)),
+                    ("installed", Temporal(1990, 2015)),
+                ]),
+                t("reading", Large, vec![
+                    ("reading_id", Pk),
+                    ("station_id", Fk("station")),
+                    ("recorded", Temporal(2018, 2021)),
+                    ("temperature", Quant(Measure)),
+                    ("rainfall", Quant(Measure)),
+                    ("condition", Category(&["sunny", "cloudy", "rain", "snow", "fog"])),
+                ]),
+            ],
+        },
+        DomainTemplate {
+            domain: "Library",
+            tables: vec![
+                t("branch", Tiny, vec![
+                    ("branch_id", Pk),
+                    ("branch_name", Name(Pool::Org)),
+                    ("city", Name(Pool::City)),
+                    ("opened", Temporal(1960, 2010)),
+                    ("collection_size", Quant(Count)),
+                ]),
+                t("book", Small, vec![
+                    ("book_id", Pk),
+                    ("title", Name(Pool::Product)),
+                    ("branch_id", Fk("branch")),
+                    ("genre", Category(&["fiction", "nonfiction", "mystery", "scifi", "poetry"])),
+                    ("pages", Quant(Count)),
+                    ("published", Temporal(1950, 2021)),
+                ]),
+                t("loan", Large, vec![
+                    ("loan_id", Pk),
+                    ("book_id", Fk("book")),
+                    ("borrowed", Temporal(2019, 2021)),
+                    ("days_out", Quant(Count)),
+                    ("late_fee", Quant(Money)),
+                ]),
+            ],
+        },
+    ]
+}
+
+/// Foreign keys implied by the `Fk` column specs of a template.
+pub fn template_fks(tpl: &DomainTemplate) -> Vec<(&'static str, &'static str, &'static str)> {
+    let mut out = Vec::new();
+    for table in &tpl.tables {
+        for (col, spec) in &table.columns {
+            if let ColSpec::Fk(target) = spec {
+                out.push((table.name, *col, *target));
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn templates_are_well_formed() {
+        let tpls = domain_templates();
+        assert!(tpls.len() >= 15, "need a rich domain library");
+        let mut domains = HashSet::new();
+        for tpl in &tpls {
+            assert!(domains.insert(tpl.domain), "duplicate domain {}", tpl.domain);
+            let names: HashSet<&str> = tpl.tables.iter().map(|t| t.name).collect();
+            assert_eq!(names.len(), tpl.tables.len(), "duplicate table in {}", tpl.domain);
+            for table in &tpl.tables {
+                // Exactly one PK, first column.
+                let pks = table
+                    .columns
+                    .iter()
+                    .filter(|(_, s)| *s == ColSpec::Pk)
+                    .count();
+                assert_eq!(pks, 1, "{}.{} needs one pk", tpl.domain, table.name);
+                assert_eq!(table.columns[0].1, ColSpec::Pk, "pk must be first");
+                // Column names unique.
+                let cols: HashSet<&str> = table.columns.iter().map(|(n, _)| *n).collect();
+                assert_eq!(cols.len(), table.columns.len());
+                // FK targets exist in the same domain.
+                for (_, spec) in &table.columns {
+                    if let ColSpec::Fk(target) = spec {
+                        assert!(names.contains(target), "{} missing fk target {target}", table.name);
+                    }
+                }
+                // At least 2 columns (paper min), at most 48 (paper max).
+                assert!((2..=48).contains(&table.columns.len()));
+            }
+        }
+    }
+
+    #[test]
+    fn every_domain_has_a_categorical_and_quantitative_column() {
+        for tpl in domain_templates() {
+            let mut has_cat = false;
+            let mut has_quant = false;
+            for table in &tpl.tables {
+                for (_, s) in &table.columns {
+                    match s {
+                        ColSpec::Category(_) | ColSpec::Name(_) | ColSpec::Flag => has_cat = true,
+                        ColSpec::Quant(_) | ColSpec::IntRange(..) => has_quant = true,
+                        _ => {}
+                    }
+                }
+            }
+            assert!(has_cat && has_quant, "{} lacks C/Q mix", tpl.domain);
+        }
+    }
+
+    #[test]
+    fn fks_extracted() {
+        let tpls = domain_templates();
+        let sport = tpls.iter().find(|t| t.domain == "Sport").unwrap();
+        let fks = template_fks(sport);
+        assert!(fks.contains(&("player", "team_id", "team")));
+        assert!(fks.contains(&("game", "home_team", "team")));
+    }
+
+    #[test]
+    fn category_pools_are_non_trivial() {
+        for tpl in domain_templates() {
+            for table in &tpl.tables {
+                for (name, s) in &table.columns {
+                    if let ColSpec::Category(vals) = s {
+                        assert!(vals.len() >= 2, "{}.{name} pool too small", table.name);
+                        let set: HashSet<_> = vals.iter().collect();
+                        assert_eq!(set.len(), vals.len(), "{}.{name} dup values", table.name);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,32 @@
+//! # nv-sql — SQL front-end for the unified AST
+//!
+//! A from-scratch lexer + recursive-descent parser for the Spider-scale SQL
+//! subset the nvBench paper builds on, lowering directly into the
+//! [`nv_ast`] unified grammar (ORDER BY + LIMIT becomes `Superlative`,
+//! HAVING merges into the `Filter` subtree, aliases are substituted away),
+//! plus a SQL renderer ([`to_sql`]) with the round-trip property
+//! `parse_sql(to_sql(q)) == q`.
+//!
+//! ```
+//! use nv_data::{table_from, ColumnType, Database, Value};
+//! use nv_sql::{parse_sql, to_sql};
+//!
+//! let mut db = Database::new("d", "Demo");
+//! db.add_table(table_from(
+//!     "emp",
+//!     &[("title", ColumnType::Categorical), ("salary", ColumnType::Quantitative)],
+//!     vec![vec![Value::text("eng"), Value::Int(100)]],
+//! ));
+//! let q = parse_sql(&db, "SELECT title, AVG(salary) FROM emp GROUP BY title ORDER BY AVG(salary) DESC LIMIT 3").unwrap();
+//! // ORDER BY … LIMIT lowers to the grammar's Superlative production:
+//! assert!(q.query.primary().superlative.is_some());
+//! assert_eq!(parse_sql(&db, &to_sql(&q)).unwrap(), q);
+//! ```
+
+pub mod lexer;
+pub mod parser;
+pub mod sqlgen;
+
+pub use lexer::{lex, LexError, Token};
+pub use parser::{parse_sql, SqlError};
+pub use sqlgen::to_sql;

@@ -1,0 +1,874 @@
+//! Recursive-descent SQL parser producing the unified AST.
+//!
+//! Covers the Spider-scale subset the paper piggybacks (§2.2 "sql scope"):
+//! SELECT (with aggregates and DISTINCT), FROM with explicit `JOIN … ON` and
+//! implicit comma joins, WHERE/HAVING with and/or, comparison, BETWEEN,
+//! (NOT) LIKE, (NOT) IN, nested subqueries, GROUP BY, ORDER BY,
+//! LIMIT (lowered to the `Superlative` production), and
+//! INTERSECT/UNION/EXCEPT.
+//!
+//! Unqualified column names are resolved against the database schema;
+//! aliases (`FROM student AS T1`) are substituted away so the resulting tree
+//! only speaks in real table names — exactly what the synthesizer and the
+//! executor expect.
+
+use crate::lexer::{lex, LexError, Token};
+use nv_ast::*;
+use nv_data::Database;
+
+/// Error from parsing or resolving a SQL string.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    Lex(LexError),
+    Parse { at: usize, message: String },
+    Resolve(String),
+}
+
+impl std::fmt::Display for SqlError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SqlError::Lex(e) => write!(f, "{e}"),
+            SqlError::Parse { at, message } => {
+                write!(f, "SQL parse error at token {at}: {message}")
+            }
+            SqlError::Resolve(m) => write!(f, "SQL resolve error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+impl From<LexError> for SqlError {
+    fn from(e: LexError) -> Self {
+        SqlError::Lex(e)
+    }
+}
+
+/// Parse a SQL string against a database schema into an SQL tree
+/// (a [`VisQuery`] with `chart == None`).
+pub fn parse_sql(db: &Database, sql: &str) -> Result<VisQuery, SqlError> {
+    let tokens = lex(sql)?;
+    let mut p = SqlParser { toks: &tokens, pos: 0, db };
+    let query = p.parse_set_query()?;
+    // Tolerate a trailing semicolon.
+    if p.pos < p.toks.len() && p.toks[p.pos] == Token::Sym(";") {
+        p.pos += 1;
+    }
+    if p.pos != p.toks.len() {
+        return Err(p.err("trailing tokens after query"));
+    }
+    Ok(VisQuery::sql(query))
+}
+
+struct SqlParser<'a> {
+    toks: &'a [Token],
+    pos: usize,
+    db: &'a Database,
+}
+
+/// Per-body context: FROM tables (real names) and alias → table mapping.
+#[derive(Default, Clone)]
+struct Scope {
+    tables: Vec<String>,
+    aliases: Vec<(String, String)>,
+}
+
+impl Scope {
+    fn resolve_table(&self, name: &str) -> Option<&str> {
+        for (a, t) in &self.aliases {
+            if a.eq_ignore_ascii_case(name) {
+                return Some(t);
+            }
+        }
+        self.tables
+            .iter()
+            .find(|t| t.eq_ignore_ascii_case(name))
+            .map(String::as_str)
+    }
+}
+
+impl<'a> SqlParser<'a> {
+    fn err(&self, m: impl Into<String>) -> SqlError {
+        SqlError::Parse { at: self.pos, message: m.into() }
+    }
+
+    fn peek(&self) -> Option<&Token> {
+        self.toks.get(self.pos)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.peek().is_some_and(|t| t.is_kw(kw)) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_sym(&mut self, s: &str) -> bool {
+        if let Some(Token::Sym(t)) = self.peek() {
+            if *t == s {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<(), SqlError> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected keyword {kw}")))
+        }
+    }
+
+    fn expect_sym(&mut self, s: &str) -> Result<(), SqlError> {
+        if self.eat_sym(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected '{s}'")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, SqlError> {
+        match self.peek() {
+            Some(Token::Word(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            Some(Token::QuotedIdent(w)) => {
+                let w = w.clone();
+                self.pos += 1;
+                Ok(w)
+            }
+            other => Err(self.err(format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn parse_set_query(&mut self) -> Result<SetQuery, SqlError> {
+        let left = self.parse_body()?;
+        let op = if self.eat_kw("union") {
+            // Tolerate UNION ALL (treated as UNION; nvBench set semantics).
+            self.eat_kw("all");
+            Some(SetOp::Union)
+        } else if self.eat_kw("intersect") {
+            Some(SetOp::Intersect)
+        } else if self.eat_kw("except") {
+            Some(SetOp::Except)
+        } else {
+            None
+        };
+        match op {
+            Some(op) => {
+                let right = self.parse_body()?;
+                Ok(SetQuery::Compound { op, left: Box::new(left), right: Box::new(right) })
+            }
+            None => Ok(SetQuery::Simple(Box::new(left))),
+        }
+    }
+
+    fn parse_body(&mut self) -> Result<QueryBody, SqlError> {
+        self.expect_kw("select")?;
+        let select_distinct = self.eat_kw("distinct");
+
+        // Select items are parsed as raw expressions first; resolution needs
+        // the FROM clause, which comes later.
+        let mut raw_select = vec![self.parse_raw_expr()?];
+        while self.eat_sym(",") {
+            raw_select.push(self.parse_raw_expr()?);
+        }
+
+        self.expect_kw("from")?;
+        let mut scope = Scope::default();
+        let mut joins: Vec<(RawRef, RawRef)> = Vec::new();
+        self.parse_table_ref(&mut scope)?;
+        loop {
+            if self.eat_sym(",") {
+                self.parse_table_ref(&mut scope)?;
+            } else if self.eat_kw("join") || {
+                // INNER JOIN / LEFT JOIN read as plain joins.
+                let save = self.pos;
+                if (self.eat_kw("inner") || self.eat_kw("left") || self.eat_kw("right"))
+                    && self.eat_kw("join")
+                {
+                    true
+                } else {
+                    self.pos = save;
+                    false
+                }
+            } {
+                self.parse_table_ref(&mut scope)?;
+                self.expect_kw("on")?;
+                let l = self.parse_raw_ref()?;
+                self.expect_sym("=")?;
+                let r = self.parse_raw_ref()?;
+                joins.push((l, r));
+            } else {
+                break;
+            }
+        }
+
+        let mut filter: Option<Predicate> = None;
+        if self.eat_kw("where") {
+            let (pred, extra_joins) = self.parse_pred(&scope)?;
+            joins.extend(extra_joins);
+            filter = pred;
+        }
+
+        let mut group_cols: Vec<ColumnRef> = Vec::new();
+        if self.eat_kw("group") {
+            self.expect_kw("by")?;
+            loop {
+                let r = self.parse_raw_ref()?;
+                group_cols.push(self.resolve_ref(&scope, &r)?);
+                if !self.eat_sym(",") {
+                    break;
+                }
+            }
+        }
+
+        if self.eat_kw("having") {
+            let (pred, extra_joins) = self.parse_pred(&scope)?;
+            joins.extend(extra_joins);
+            filter = Predicate::and_opt(filter, pred);
+        }
+
+        let mut order: Option<OrderSpec> = None;
+        if self.eat_kw("order") {
+            self.expect_kw("by")?;
+            let e = self.parse_raw_expr()?;
+            let attr = self.resolve_expr(&scope, &e)?;
+            let dir = if self.eat_kw("desc") {
+                OrderDir::Desc
+            } else {
+                self.eat_kw("asc");
+                OrderDir::Asc
+            };
+            order = Some(OrderSpec { attr, dir });
+        }
+
+        let mut superlative: Option<Superlative> = None;
+        if self.eat_kw("limit") {
+            let k = match self.peek() {
+                Some(Token::Int(n)) if *n >= 0 => {
+                    let n = *n as u64;
+                    self.pos += 1;
+                    n
+                }
+                _ => return Err(self.err("expected LIMIT count")),
+            };
+            // ORDER BY … LIMIT k lowers to the Superlative production.
+            if let Some(o) = order.take() {
+                let dir = match o.dir {
+                    OrderDir::Desc => SuperDir::Most,
+                    OrderDir::Asc => SuperDir::Least,
+                };
+                superlative = Some(Superlative { dir, k, attr: o.attr });
+            } else {
+                // Bare LIMIT: arbitrary-k rows; anchor on the first select
+                // attribute for determinism.
+                let attr = self.resolve_expr(&scope, &raw_select[0])?;
+                superlative = Some(Superlative { dir: SuperDir::Most, k, attr });
+            }
+        }
+
+        // Resolve the select list (expanding a bare `*`).
+        let mut select: Vec<Attr> = Vec::new();
+        for e in &raw_select {
+            if let RawExpr::Star = e {
+                for t in &scope.tables {
+                    let table = self
+                        .db
+                        .table(t)
+                        .ok_or_else(|| SqlError::Resolve(format!("unknown table '{t}'")))?;
+                    for c in &table.schema.columns {
+                        select.push(Attr::col(table.name().to_string(), c.name.clone()));
+                    }
+                }
+            } else {
+                select.push(self.resolve_expr(&scope, e)?);
+            }
+        }
+
+        // SELECT DISTINCT without aggregates ≡ GROUP BY all selected columns.
+        if select_distinct && group_cols.is_empty() && !select.iter().any(Attr::is_aggregated) {
+            group_cols = select.iter().map(|a| a.col.clone()).collect();
+        }
+
+        let group = if group_cols.is_empty() {
+            None
+        } else {
+            Some(GroupSpec { group_by: group_cols, bin: None })
+        };
+
+        let joins = joins
+            .iter()
+            .map(|(l, r)| {
+                Ok(JoinCond {
+                    left: self.resolve_ref(&scope, l)?,
+                    right: self.resolve_ref(&scope, r)?,
+                })
+            })
+            .collect::<Result<Vec<_>, SqlError>>()?;
+
+        Ok(QueryBody {
+            select,
+            from: scope.tables.clone(),
+            joins,
+            filter,
+            group,
+            order,
+            superlative,
+        })
+    }
+
+    fn parse_table_ref(&mut self, scope: &mut Scope) -> Result<(), SqlError> {
+        let name = self.ident()?;
+        let real = self
+            .db
+            .table(&name)
+            .map(|t| t.name().to_string())
+            .ok_or_else(|| SqlError::Resolve(format!("unknown table '{name}'")))?;
+        scope.tables.push(real.clone());
+        // Optional alias: `AS alias` or bare alias word that is not a clause
+        // keyword.
+        if self.eat_kw("as") {
+            let alias = self.ident()?;
+            scope.aliases.push((alias, real));
+        } else if let Some(Token::Word(w)) = self.peek() {
+            const CLAUSES: [&str; 14] = [
+                "join", "inner", "left", "right", "on", "where", "group", "having", "order",
+                "limit", "union", "intersect", "except", "as",
+            ];
+            if !CLAUSES.iter().any(|k| w.eq_ignore_ascii_case(k)) {
+                let alias = w.clone();
+                self.pos += 1;
+                scope.aliases.push((alias, real));
+            }
+        }
+        Ok(())
+    }
+
+    // ---- raw expressions (pre-resolution) ----
+
+    fn parse_raw_expr(&mut self) -> Result<RawExpr, SqlError> {
+        if let Some(Token::Sym("*")) = self.peek() {
+            self.pos += 1;
+            return Ok(RawExpr::Star);
+        }
+        if let Some(Token::Word(w)) = self.peek() {
+            if let Some(agg) = AggFunc::from_keyword(&w.to_lowercase()) {
+                if self.toks.get(self.pos + 1) == Some(&Token::Sym("(")) {
+                    self.pos += 2;
+                    let distinct = self.eat_kw("distinct");
+                    let arg = if self.eat_sym("*") {
+                        RawRef { qualifier: None, name: "*".into() }
+                    } else {
+                        self.parse_raw_ref()?
+                    };
+                    self.expect_sym(")")?;
+                    return Ok(RawExpr::Agg { agg, arg, distinct });
+                }
+            }
+        }
+        Ok(RawExpr::Col(self.parse_raw_ref()?))
+    }
+
+    fn parse_raw_ref(&mut self) -> Result<RawRef, SqlError> {
+        let first = self.ident()?;
+        if self.eat_sym(".") {
+            if self.eat_sym("*") {
+                return Ok(RawRef { qualifier: Some(first), name: "*".into() });
+            }
+            let name = self.ident()?;
+            Ok(RawRef { qualifier: Some(first), name })
+        } else {
+            Ok(RawRef { qualifier: None, name: first })
+        }
+    }
+
+    fn resolve_ref(&self, scope: &Scope, r: &RawRef) -> Result<ColumnRef, SqlError> {
+        if let Some(q) = &r.qualifier {
+            let table = scope
+                .resolve_table(q)
+                .ok_or_else(|| SqlError::Resolve(format!("unknown table or alias '{q}'")))?;
+            return Ok(ColumnRef::new(table.to_string(), r.name.clone()));
+        }
+        if r.name == "*" {
+            let t = scope
+                .tables
+                .first()
+                .ok_or_else(|| SqlError::Resolve("star outside FROM scope".into()))?;
+            return Ok(ColumnRef::new(t.clone(), "*"));
+        }
+        // Unqualified: find a FROM table whose schema declares the column.
+        for t in &scope.tables {
+            if let Some(table) = self.db.table(t) {
+                if table.schema.column_index(&r.name).is_some() {
+                    return Ok(ColumnRef::new(table.name().to_string(), r.name.clone()));
+                }
+            }
+        }
+        Err(SqlError::Resolve(format!(
+            "column '{}' not found in tables {:?}",
+            r.name, scope.tables
+        )))
+    }
+
+    fn resolve_expr(&self, scope: &Scope, e: &RawExpr) -> Result<Attr, SqlError> {
+        match e {
+            RawExpr::Star => Err(SqlError::Resolve("bare '*' not valid here".into())),
+            RawExpr::Col(r) => {
+                let col = self.resolve_ref(scope, r)?;
+                Ok(Attr { agg: AggFunc::None, col, distinct: false })
+            }
+            RawExpr::Agg { agg, arg, distinct } => {
+                let col = self.resolve_ref(scope, arg)?;
+                Ok(Attr { agg: *agg, col, distinct: *distinct })
+            }
+        }
+    }
+
+    // ---- predicates ----
+
+    /// Parse a predicate. Equality conditions between two *columns* are
+    /// extracted as implicit join conditions (Spider's comma-join style) and
+    /// returned separately.
+    #[allow(clippy::type_complexity)]
+    fn parse_pred(
+        &mut self,
+        scope: &Scope,
+    ) -> Result<(Option<Predicate>, Vec<(RawRef, RawRef)>), SqlError> {
+        let mut joins = Vec::new();
+        let p = self.parse_or(scope, &mut joins)?;
+        Ok((p, joins))
+    }
+
+    fn parse_or(
+        &mut self,
+        scope: &Scope,
+        joins: &mut Vec<(RawRef, RawRef)>,
+    ) -> Result<Option<Predicate>, SqlError> {
+        let mut acc = self.parse_and(scope, joins)?;
+        while self.eat_kw("or") {
+            let rhs = self.parse_and(scope, joins)?;
+            acc = match (acc, rhs) {
+                (Some(a), Some(b)) => Some(Predicate::Or(Box::new(a), Box::new(b))),
+                (a, b) => a.or(b),
+            };
+        }
+        Ok(acc)
+    }
+
+    fn parse_and(
+        &mut self,
+        scope: &Scope,
+        joins: &mut Vec<(RawRef, RawRef)>,
+    ) -> Result<Option<Predicate>, SqlError> {
+        let mut acc = self.parse_prim(scope, joins)?;
+        while self.eat_kw("and") {
+            let rhs = self.parse_prim(scope, joins)?;
+            acc = Predicate::and_opt(acc, rhs);
+        }
+        Ok(acc)
+    }
+
+    fn parse_prim(
+        &mut self,
+        scope: &Scope,
+        joins: &mut Vec<(RawRef, RawRef)>,
+    ) -> Result<Option<Predicate>, SqlError> {
+        if self.eat_sym("(") {
+            let p = self.parse_or(scope, joins)?;
+            self.expect_sym(")")?;
+            return Ok(p);
+        }
+        self.parse_cond(scope, joins)
+    }
+
+    fn parse_cond(
+        &mut self,
+        scope: &Scope,
+        joins: &mut Vec<(RawRef, RawRef)>,
+    ) -> Result<Option<Predicate>, SqlError> {
+        let e = self.parse_raw_expr()?;
+        let negated = self.eat_kw("not");
+
+        if self.eat_kw("between") {
+            let attr = self.resolve_expr(scope, &e)?;
+            let low = self.parse_value_operand()?;
+            self.expect_kw("and")?;
+            let high = self.parse_value_operand()?;
+            if negated {
+                return Err(self.err("NOT BETWEEN is not supported"));
+            }
+            return Ok(Some(Predicate::Between { attr, low, high }));
+        }
+        if self.eat_kw("like") {
+            let attr = self.resolve_expr(scope, &e)?;
+            match self.peek() {
+                Some(Token::Str(s)) => {
+                    let pattern = s.clone();
+                    self.pos += 1;
+                    return Ok(Some(Predicate::Like { attr, pattern, negated }));
+                }
+                _ => return Err(self.err("expected string after LIKE")),
+            }
+        }
+        if self.eat_kw("in") {
+            let attr = self.resolve_expr(scope, &e)?;
+            self.expect_sym("(")?;
+            let rhs = if self.peek().is_some_and(|t| t.is_kw("select")) {
+                let q = self.parse_set_query()?;
+                Operand::Subquery(Box::new(q))
+            } else {
+                let mut lits = vec![self.parse_literal()?];
+                while self.eat_sym(",") {
+                    lits.push(self.parse_literal()?);
+                }
+                Operand::List(lits)
+            };
+            self.expect_sym(")")?;
+            return Ok(Some(Predicate::In { attr, rhs, negated }));
+        }
+        if negated {
+            return Err(self.err("expected BETWEEN/LIKE/IN after NOT"));
+        }
+
+        let op_tok = match self.peek() {
+            Some(Token::Sym(s)) => *s,
+            other => return Err(self.err(format!("expected comparison, found {other:?}"))),
+        };
+        let op = CmpOp::from_symbol(op_tok)
+            .ok_or_else(|| self.err(format!("unknown operator '{op_tok}'")))?;
+        self.pos += 1;
+
+        // Column = Column is an implicit join condition, not a filter.
+        if op == CmpOp::Eq {
+            if let Some(r) = self.try_parse_column_operand(scope) {
+                if let RawExpr::Col(l) = &e {
+                    joins.push((l.clone(), r));
+                    return Ok(None);
+                }
+                return Err(self.err("aggregate = column is not supported"));
+            }
+        }
+
+        let attr = self.resolve_expr(scope, &e)?;
+        let rhs = if self.eat_sym("(") {
+            if self.peek().is_some_and(|t| t.is_kw("select")) {
+                let q = self.parse_set_query()?;
+                self.expect_sym(")")?;
+                Operand::Subquery(Box::new(q))
+            } else {
+                let lit = self.parse_literal()?;
+                self.expect_sym(")")?;
+                Operand::Lit(lit)
+            }
+        } else {
+            Operand::Lit(self.parse_literal()?)
+        };
+        Ok(Some(Predicate::Cmp { op, attr, rhs }))
+    }
+
+    /// Try to parse the next tokens as a column reference operand (used to
+    /// detect implicit joins `a.x = b.y`). Backtracks on failure.
+    fn try_parse_column_operand(&mut self, scope: &Scope) -> Option<RawRef> {
+        let save = self.pos;
+        match self.peek() {
+            Some(Token::Word(w))
+                if !w.eq_ignore_ascii_case("true")
+                    && !w.eq_ignore_ascii_case("false")
+                    && !w.eq_ignore_ascii_case("null") =>
+            {
+                match self.parse_raw_ref() {
+                    Ok(r) if self.resolve_ref(scope, &r).is_ok() => Some(r),
+                    _ => {
+                        self.pos = save;
+                        None
+                    }
+                }
+            }
+            _ => None,
+        }
+    }
+
+    fn parse_value_operand(&mut self) -> Result<Operand, SqlError> {
+        Ok(Operand::Lit(self.parse_literal()?))
+    }
+
+    fn parse_literal(&mut self) -> Result<Literal, SqlError> {
+        let lit = match self.peek() {
+            Some(Token::Int(n)) => Literal::Int(*n),
+            Some(Token::Float(f)) => Literal::Float(*f),
+            Some(Token::Str(s)) => Literal::Text(s.clone()),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("null") => Literal::Null,
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("true") => Literal::Bool(true),
+            Some(Token::Word(w)) if w.eq_ignore_ascii_case("false") => Literal::Bool(false),
+            other => return Err(self.err(format!("expected literal, found {other:?}"))),
+        };
+        self.pos += 1;
+        Ok(lit)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct RawRef {
+    qualifier: Option<String>,
+    name: String,
+}
+
+#[derive(Debug, Clone)]
+enum RawExpr {
+    Star,
+    Col(RawRef),
+    Agg { agg: AggFunc, arg: RawRef, distinct: bool },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_data::{table_from, ColumnType, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("college", "College");
+        db.add_table(table_from(
+            "student",
+            &[
+                ("id", ColumnType::Quantitative),
+                ("name", ColumnType::Categorical),
+                ("age", ColumnType::Quantitative),
+                ("major", ColumnType::Categorical),
+                ("enrolled", ColumnType::Temporal),
+            ],
+            vec![vec![
+                Value::Int(1),
+                Value::text("a"),
+                Value::Int(20),
+                Value::text("cs"),
+                Value::text("2019-09-01"),
+            ]],
+        ));
+        db.add_table(table_from(
+            "department",
+            &[
+                ("dept_id", ColumnType::Quantitative),
+                ("dept_name", ColumnType::Categorical),
+            ],
+            vec![vec![Value::Int(1), Value::text("cs")]],
+        ));
+        db
+    }
+
+    fn p(sql: &str) -> VisQuery {
+        parse_sql(&db(), sql).unwrap_or_else(|e| panic!("{sql}: {e}"))
+    }
+
+    #[test]
+    fn simple_select() {
+        let q = p("SELECT name, age FROM student");
+        let b = q.query.primary();
+        assert_eq!(b.select.len(), 2);
+        assert_eq!(b.select[0].col.to_token(), "student.name");
+        assert!(q.chart.is_none());
+    }
+
+    #[test]
+    fn count_star_group_by() {
+        let q = p("SELECT major, COUNT(*) FROM student GROUP BY major");
+        let b = q.query.primary();
+        assert_eq!(b.select[1].agg, AggFunc::Count);
+        assert!(b.select[1].col.is_star());
+        assert_eq!(b.group.as_ref().unwrap().group_by[0].to_token(), "student.major");
+    }
+
+    #[test]
+    fn where_and_having_merge() {
+        let q = p(
+            "SELECT major, AVG(age) FROM student WHERE age > 18 \
+             GROUP BY major HAVING COUNT(*) >= 2",
+        );
+        let f = q.query.primary().filter.as_ref().unwrap();
+        assert_eq!(f.leaf_count(), 2);
+    }
+
+    #[test]
+    fn order_limit_lowers_to_superlative() {
+        let q = p("SELECT name FROM student ORDER BY age DESC LIMIT 3");
+        let b = q.query.primary();
+        assert!(b.order.is_none());
+        let s = b.superlative.as_ref().unwrap();
+        assert_eq!(s.dir, SuperDir::Most);
+        assert_eq!(s.k, 3);
+        assert_eq!(s.attr.col.column, "age");
+
+        let q = p("SELECT name FROM student ORDER BY age ASC LIMIT 1");
+        assert_eq!(q.query.primary().superlative.as_ref().unwrap().dir, SuperDir::Least);
+    }
+
+    #[test]
+    fn order_without_limit_stays_order() {
+        let q = p("SELECT name FROM student ORDER BY age");
+        let o = q.query.primary().order.as_ref().unwrap();
+        assert_eq!(o.dir, OrderDir::Asc);
+    }
+
+    #[test]
+    fn bare_limit_anchors_first_attr() {
+        let q = p("SELECT name FROM student LIMIT 5");
+        let s = q.query.primary().superlative.as_ref().unwrap();
+        assert_eq!(s.k, 5);
+        assert_eq!(s.attr.col.column, "name");
+    }
+
+    #[test]
+    fn explicit_join_with_aliases() {
+        let q = p(
+            "SELECT T1.name, T2.dept_name FROM student AS T1 \
+             JOIN department AS T2 ON T1.major = T2.dept_name",
+        );
+        let b = q.query.primary();
+        assert_eq!(b.from, vec!["student".to_string(), "department".to_string()]);
+        assert_eq!(b.joins.len(), 1);
+        assert_eq!(b.joins[0].left.to_token(), "student.major");
+        assert_eq!(b.joins[0].right.to_token(), "department.dept_name");
+    }
+
+    #[test]
+    fn implicit_comma_join() {
+        let q = p(
+            "SELECT student.name FROM student, department \
+             WHERE student.major = department.dept_name AND student.age > 20",
+        );
+        let b = q.query.primary();
+        assert_eq!(b.joins.len(), 1);
+        let f = b.filter.as_ref().unwrap();
+        assert_eq!(f.leaf_count(), 1);
+    }
+
+    #[test]
+    fn in_subquery_and_list() {
+        let q = p(
+            "SELECT name FROM student WHERE major IN \
+             (SELECT dept_name FROM department)",
+        );
+        assert!(q.query.has_subquery());
+        let q = p("SELECT name FROM student WHERE major IN ('cs', 'math')");
+        match q.query.primary().filter.as_ref().unwrap() {
+            Predicate::In { rhs: Operand::List(l), .. } => assert_eq!(l.len(), 2),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn scalar_subquery_comparison() {
+        let q = p(
+            "SELECT name FROM student WHERE age > (SELECT AVG(age) FROM student)",
+        );
+        assert!(q.query.has_subquery());
+    }
+
+    #[test]
+    fn not_like_and_between() {
+        let q = p("SELECT name FROM student WHERE name NOT LIKE 'A%' AND age BETWEEN 18 AND 25");
+        let f = q.query.primary().filter.as_ref().unwrap();
+        assert_eq!(f.leaf_count(), 2);
+        let mut kinds = Vec::new();
+        f.for_each_leaf(&mut |l| {
+            kinds.push(match l {
+                Predicate::Like { negated, .. } => format!("like:{negated}"),
+                Predicate::Between { .. } => "between".into(),
+                _ => "other".into(),
+            })
+        });
+        assert!(kinds.contains(&"like:true".to_string()));
+        assert!(kinds.contains(&"between".to_string()));
+    }
+
+    #[test]
+    fn set_ops_and_union_all() {
+        let q = p("SELECT name FROM student UNION ALL SELECT dept_name FROM department");
+        assert_eq!(q.query.set_op(), Some(SetOp::Union));
+        let q = p("SELECT name FROM student EXCEPT SELECT name FROM student WHERE age > 30");
+        assert_eq!(q.query.set_op(), Some(SetOp::Except));
+    }
+
+    #[test]
+    fn star_expansion() {
+        let q = p("SELECT * FROM department");
+        assert_eq!(q.query.primary().select.len(), 2);
+        assert_eq!(q.query.primary().select[0].col.to_token(), "department.dept_id");
+    }
+
+    #[test]
+    fn select_distinct_becomes_group() {
+        let q = p("SELECT DISTINCT major FROM student");
+        let g = q.query.primary().group.as_ref().unwrap();
+        assert_eq!(g.group_by[0].column, "major");
+    }
+
+    #[test]
+    fn count_distinct_column() {
+        let q = p("SELECT COUNT(DISTINCT major) FROM student");
+        let a = &q.query.primary().select[0];
+        assert!(a.distinct);
+        assert_eq!(a.agg, AggFunc::Count);
+    }
+
+    #[test]
+    fn parenthesized_or_precedence() {
+        let q = p("SELECT name FROM student WHERE (age > 20 OR age < 10) AND major = 'cs'");
+        let f = q.query.primary().filter.as_ref().unwrap();
+        assert!(matches!(f, Predicate::And(..)));
+        assert_eq!(f.leaf_count(), 3);
+    }
+
+    #[test]
+    fn errors() {
+        let e = parse_sql(&db(), "SELECT name FROM ghost").unwrap_err();
+        assert!(matches!(e, SqlError::Resolve(_)), "{e}");
+        let e = parse_sql(&db(), "SELECT ghost_col FROM student").unwrap_err();
+        assert!(matches!(e, SqlError::Resolve(_)));
+        let e = parse_sql(&db(), "SELECT FROM student").unwrap_err();
+        assert!(matches!(e, SqlError::Parse { .. }));
+        let e = parse_sql(&db(), "SELECT name FROM student WHERE").unwrap_err();
+        assert!(matches!(e, SqlError::Parse { .. }));
+        assert!(e.to_string().contains("error"));
+        let e = parse_sql(&db(), "SELECT name FROM student extra garbage").unwrap_err();
+        assert!(matches!(e, SqlError::Resolve(_) | SqlError::Parse { .. }));
+    }
+
+    #[test]
+    fn trailing_semicolon_ok() {
+        let q = p("SELECT name FROM student;");
+        assert_eq!(q.query.primary().select.len(), 1);
+    }
+
+    #[test]
+    fn quoted_identifiers_and_strings() {
+        let q = p(r#"SELECT "name" FROM student WHERE name = 'O''Neil'"#);
+        match q.query.primary().filter.as_ref().unwrap() {
+            Predicate::Cmp { rhs: Operand::Lit(Literal::Text(s)), .. } => {
+                assert_eq!(s, "O'Neil")
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_trips_through_vql() {
+        // SQL → AST → VQL tokens → AST must be stable.
+        for sql in [
+            "SELECT major, COUNT(*) FROM student GROUP BY major",
+            "SELECT T1.name FROM student AS T1 JOIN department AS T2 ON T1.major = T2.dept_name WHERE T1.age >= 21",
+            "SELECT name FROM student ORDER BY age DESC LIMIT 3",
+            "SELECT name FROM student WHERE major IN (SELECT dept_name FROM department) UNION SELECT dept_name FROM department",
+        ] {
+            let ast = p(sql);
+            let back = nv_ast::parse_vql(&ast.to_tokens()).unwrap();
+            assert_eq!(back, ast, "{sql}");
+        }
+    }
+}

@@ -1,0 +1,150 @@
+//! BLEU score (Papineni et al., 2002) — used by the paper (Table 3) to
+//! quantify the *diversity* of NL variants for the same VIS query: lower
+//! pairwise BLEU ⇒ more diverse phrasings.
+
+use std::collections::HashMap;
+
+/// Sentence-level BLEU of `candidate` against one `reference`, with n-grams
+/// up to `max_n` (the paper's convention: 4), uniform weights, brevity
+/// penalty, and +ε smoothing so short sentences don't zero out.
+pub fn sentence_bleu(candidate: &[&str], reference: &[&str], max_n: usize) -> f64 {
+    if candidate.is_empty() || reference.is_empty() {
+        return 0.0;
+    }
+    let max_n = max_n.min(candidate.len()).min(reference.len()).max(1);
+    let mut log_sum = 0.0;
+    for n in 1..=max_n {
+        let cand = ngram_counts(candidate, n);
+        let refc = ngram_counts(reference, n);
+        let total: usize = cand.values().sum();
+        let mut clipped = 0usize;
+        for (g, c) in &cand {
+            clipped += (*c).min(refc.get(g).copied().unwrap_or(0));
+        }
+        // ε-smoothing keeps the geometric mean finite.
+        let p = (clipped as f64 + 1e-9) / (total as f64 + 1e-9);
+        log_sum += p.ln();
+    }
+    let precision = (log_sum / max_n as f64).exp();
+    let bp = brevity_penalty(candidate.len(), reference.len());
+    bp * precision
+}
+
+fn brevity_penalty(c: usize, r: usize) -> f64 {
+    if c >= r {
+        1.0
+    } else {
+        (1.0 - r as f64 / c as f64).exp()
+    }
+}
+
+fn ngram_counts<'a>(tokens: &[&'a str], n: usize) -> HashMap<Vec<&'a str>, usize> {
+    let mut m = HashMap::new();
+    if tokens.len() < n {
+        return m;
+    }
+    for w in tokens.windows(n) {
+        *m.entry(w.to_vec()).or_insert(0) += 1;
+    }
+    m
+}
+
+/// Average pairwise BLEU among a set of sentences (each scored against each
+/// other, both directions) — Table 3's "Avg. BLEU (Pair)". Returns 0 for
+/// fewer than two sentences.
+pub fn avg_pairwise_bleu(sentences: &[Vec<&str>], max_n: usize) -> f64 {
+    if sentences.len() < 2 {
+        return 0.0;
+    }
+    let mut sum = 0.0;
+    let mut count = 0usize;
+    for (i, a) in sentences.iter().enumerate() {
+        for (j, b) in sentences.iter().enumerate() {
+            if i != j {
+                sum += sentence_bleu(a, b, max_n);
+                count += 1;
+            }
+        }
+    }
+    sum / count as f64
+}
+
+/// Whitespace tokenizer with lowercasing and punctuation stripping — BLEU's
+/// usual preprocessing for NL sentences.
+pub fn simple_tokens(s: &str) -> Vec<String> {
+    s.split_whitespace()
+        .map(|w| {
+            w.trim_matches(|c: char| !c.is_alphanumeric())
+                .to_lowercase()
+        })
+        .filter(|w| !w.is_empty())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toks(s: &str) -> Vec<&str> {
+        s.split_whitespace().collect()
+    }
+
+    #[test]
+    fn identical_sentences_score_one() {
+        let s = toks("show me a bar chart of counts by major");
+        let b = sentence_bleu(&s, &s, 4);
+        assert!((b - 1.0).abs() < 1e-6, "{b}");
+    }
+
+    #[test]
+    fn disjoint_sentences_score_near_zero() {
+        let a = toks("alpha beta gamma delta epsilon");
+        let b = toks("one two three four five");
+        assert!(sentence_bleu(&a, &b, 4) < 1e-3);
+    }
+
+    #[test]
+    fn partial_overlap_is_intermediate() {
+        let a = toks("show me a pie chart of faculty by sex");
+        let b = toks("draw a pie chart of faculty grouped by sex");
+        let s = sentence_bleu(&a, &b, 4);
+        assert!(s > 0.05 && s < 0.9, "{s}");
+    }
+
+    #[test]
+    fn brevity_penalty_applies() {
+        let long = toks("a b c d e f g h");
+        let short = toks("a b c");
+        // Short candidate against a long reference is penalized relative to
+        // the reverse direction.
+        let s1 = sentence_bleu(&short, &long, 2);
+        let s2 = sentence_bleu(&long, &short, 2);
+        assert!(s1 < s2, "{s1} vs {s2}");
+    }
+
+    #[test]
+    fn pairwise_average() {
+        let sents = vec![
+            toks("show a bar chart"),
+            toks("show a bar chart"),
+            toks("completely different words here"),
+        ];
+        let avg = avg_pairwise_bleu(&sents, 4);
+        assert!(avg > 0.0 && avg < 1.0);
+        assert_eq!(avg_pairwise_bleu(&sents[..1], 4), 0.0);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert_eq!(sentence_bleu(&[], &toks("x"), 4), 0.0);
+        assert_eq!(sentence_bleu(&toks("x"), &[], 4), 0.0);
+    }
+
+    #[test]
+    fn tokenizer_strips_punct() {
+        assert_eq!(
+            simple_tokens("Show, me: the BAR chart!"),
+            vec!["show", "me", "the", "bar", "chart"]
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Distribution samplers, implemented directly (Box–Muller / inverse CDF)
+//! so the workspace needs no sampling crate beyond `rand`'s uniform source.
+//!
+//! These drive the synthetic Spider data generator: the paper's Figure 9(a)
+//! reports that nvBench's quantitative columns are predominantly log-normal,
+//! with normal / exponential / power-law minorities and a long "none of the
+//! six" tail — `nv-spider` samples column data from these generators with
+//! matching proportions.
+
+use rand::Rng;
+
+/// A sampleable distribution family with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Dist {
+    /// N(mean, sd²)
+    Normal { mean: f64, sd: f64 },
+    /// exp(N(mu, sigma²))
+    LogNormal { mu: f64, sigma: f64 },
+    /// rate λ
+    Exponential { rate: f64 },
+    /// Pareto with scale x_min and shape alpha
+    PowerLaw { x_min: f64, alpha: f64 },
+    /// U[lo, hi)
+    Uniform { lo: f64, hi: f64 },
+    /// χ²(k)
+    ChiSquare { k: f64 },
+}
+
+impl Dist {
+    /// Draw one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> f64 {
+        match *self {
+            Dist::Normal { mean, sd } => mean + sd * std_normal(rng),
+            Dist::LogNormal { mu, sigma } => (mu + sigma * std_normal(rng)).exp(),
+            Dist::Exponential { rate } => {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                -u.ln() / rate
+            }
+            Dist::PowerLaw { x_min, alpha } => {
+                let u: f64 = rng.random::<f64>().max(1e-12);
+                x_min * u.powf(-1.0 / (alpha - 1.0))
+            }
+            Dist::Uniform { lo, hi } => lo + (hi - lo) * rng.random::<f64>(),
+            Dist::ChiSquare { k } => {
+                // Sum of squared standard normals for integer part; the
+                // fractional part is approximated by a gamma-ish draw via
+                // one extra scaled square.
+                let whole = k.floor() as usize;
+                let mut s = 0.0;
+                for _ in 0..whole {
+                    let z = std_normal(rng);
+                    s += z * z;
+                }
+                let frac = k - whole as f64;
+                if frac > 0.0 {
+                    let z = std_normal(rng);
+                    s += frac * z * z;
+                }
+                s
+            }
+        }
+    }
+
+    /// Draw `n` samples.
+    pub fn sample_n<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Vec<f64> {
+        (0..n).map(|_| self.sample(rng)).collect()
+    }
+
+    /// The distribution's CDF at `x` (used by the KS test).
+    pub fn cdf(&self, x: f64) -> f64 {
+        use crate::special::{chi2_cdf, std_normal_cdf};
+        match *self {
+            Dist::Normal { mean, sd } => std_normal_cdf((x - mean) / sd),
+            Dist::LogNormal { mu, sigma } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    std_normal_cdf((x.ln() - mu) / sigma)
+                }
+            }
+            Dist::Exponential { rate } => {
+                if x <= 0.0 {
+                    0.0
+                } else {
+                    1.0 - (-rate * x).exp()
+                }
+            }
+            Dist::PowerLaw { x_min, alpha } => {
+                if x <= x_min {
+                    0.0
+                } else {
+                    1.0 - (x_min / x).powf(alpha - 1.0)
+                }
+            }
+            Dist::Uniform { lo, hi } => ((x - lo) / (hi - lo)).clamp(0.0, 1.0),
+            Dist::ChiSquare { k } => chi2_cdf(x, k),
+        }
+    }
+
+    /// The family name used in Figure-9 reporting.
+    pub fn family(&self) -> DistFamily {
+        match self {
+            Dist::Normal { .. } => DistFamily::Normal,
+            Dist::LogNormal { .. } => DistFamily::LogNormal,
+            Dist::Exponential { .. } => DistFamily::Exponential,
+            Dist::PowerLaw { .. } => DistFamily::PowerLaw,
+            Dist::Uniform { .. } => DistFamily::Uniform,
+            Dist::ChiSquare { .. } => DistFamily::ChiSquare,
+        }
+    }
+}
+
+/// The six families tested in Figure 9(a), plus `None`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum DistFamily {
+    Normal,
+    LogNormal,
+    Exponential,
+    PowerLaw,
+    Uniform,
+    ChiSquare,
+}
+
+impl DistFamily {
+    pub const ALL: [DistFamily; 6] = [
+        DistFamily::Normal,
+        DistFamily::LogNormal,
+        DistFamily::Exponential,
+        DistFamily::PowerLaw,
+        DistFamily::Uniform,
+        DistFamily::ChiSquare,
+    ];
+
+    /// The paper's abbreviation (Norm, L-N, Exp, Pow, Unif, Chi-2).
+    pub fn abbrev(self) -> &'static str {
+        match self {
+            DistFamily::Normal => "Norm",
+            DistFamily::LogNormal => "L-N",
+            DistFamily::Exponential => "Exp",
+            DistFamily::PowerLaw => "Pow",
+            DistFamily::Uniform => "Unif",
+            DistFamily::ChiSquare => "Chi-2",
+        }
+    }
+}
+
+/// One standard-normal draw via Box–Muller.
+pub fn std_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    fn mean(v: &[f64]) -> f64 {
+        v.iter().sum::<f64>() / v.len() as f64
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut r = rng();
+        let s = Dist::Normal { mean: 10.0, sd: 2.0 }.sample_n(&mut r, 20_000);
+        assert!((mean(&s) - 10.0).abs() < 0.1);
+        let var = s.iter().map(|x| (x - 10.0).powi(2)).sum::<f64>() / s.len() as f64;
+        assert!((var.sqrt() - 2.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn lognormal_positive_and_skewed() {
+        let mut r = rng();
+        let s = Dist::LogNormal { mu: 1.0, sigma: 0.8 }.sample_n(&mut r, 10_000);
+        assert!(s.iter().all(|&x| x > 0.0));
+        let m = mean(&s);
+        let med = {
+            let mut t = s.clone();
+            t.sort_by(f64::total_cmp);
+            t[t.len() / 2]
+        };
+        assert!(m > med, "log-normal mean {m} should exceed median {med}");
+    }
+
+    #[test]
+    fn exponential_mean() {
+        let mut r = rng();
+        let s = Dist::Exponential { rate: 0.5 }.sample_n(&mut r, 20_000);
+        assert!((mean(&s) - 2.0).abs() < 0.1);
+        assert!(s.iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn powerlaw_min_respected() {
+        let mut r = rng();
+        let s = Dist::PowerLaw { x_min: 3.0, alpha: 2.5 }.sample_n(&mut r, 5_000);
+        assert!(s.iter().all(|&x| x >= 3.0));
+    }
+
+    #[test]
+    fn uniform_bounds() {
+        let mut r = rng();
+        let s = Dist::Uniform { lo: -1.0, hi: 4.0 }.sample_n(&mut r, 10_000);
+        assert!(s.iter().all(|&x| (-1.0..4.0).contains(&x)));
+        assert!((mean(&s) - 1.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn chi_square_mean_is_k() {
+        let mut r = rng();
+        let s = Dist::ChiSquare { k: 4.0 }.sample_n(&mut r, 20_000);
+        assert!((mean(&s) - 4.0).abs() < 0.15);
+    }
+
+    #[test]
+    fn cdf_monotone_and_bounded() {
+        let dists = [
+            Dist::Normal { mean: 0.0, sd: 1.0 },
+            Dist::LogNormal { mu: 0.0, sigma: 1.0 },
+            Dist::Exponential { rate: 1.0 },
+            Dist::PowerLaw { x_min: 1.0, alpha: 2.0 },
+            Dist::Uniform { lo: 0.0, hi: 1.0 },
+            Dist::ChiSquare { k: 3.0 },
+        ];
+        for d in dists {
+            let mut prev = 0.0;
+            for i in 0..100 {
+                let x = -5.0 + i as f64 * 0.2;
+                let p = d.cdf(x);
+                assert!((0.0..=1.0).contains(&p), "{d:?} cdf({x}) = {p}");
+                assert!(p >= prev - 1e-12, "{d:?} not monotone at {x}");
+                prev = p;
+            }
+        }
+    }
+
+    #[test]
+    fn family_abbrevs() {
+        assert_eq!(DistFamily::LogNormal.abbrev(), "L-N");
+        assert_eq!(DistFamily::ALL.len(), 6);
+        assert_eq!(
+            Dist::Normal { mean: 0.0, sd: 1.0 }.family(),
+            DistFamily::Normal
+        );
+    }
+}

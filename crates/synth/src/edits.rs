@@ -1,0 +1,721 @@
+//! Step 1 — VIS synthesis via tree edits (§2.3).
+//!
+//! From one SQL tree, candidate VIS trees are produced by **deletions**
+//! (projection-attribute subsets of size 1–3; dropping the Order subtree)
+//! followed by **insertions** (grouping / binning, aggregate predicates, the
+//! `Visualize` subtree, and axis ordering), constrained by the Table-1
+//! chart-validity rules:
+//!
+//! | variables | operations | charts |
+//! |---|---|---|
+//! | C | grouping + count | bar, pie |
+//! | T | grouping/binning + count | bar, pie, line |
+//! | C+Q | grouping/binning/none + agg | bar, pie |
+//! | T+Q | grouping/binning/none + agg | bar, pie, line |
+//! | Q+Q | — | scatter |
+//! | T+Q+C | grouping + binning + agg | grouping line, stacked bar |
+//! | C+Q+C | grouping(s) + agg | stacked bar |
+//! | Q+Q+C | grouping(s) + agg | grouping scatter |
+//!
+//! (Plus the bar-as-histogram case: a single Q attribute is numeric-binned
+//! and counted.) Filter, Superlative and pre-existing grouping subtrees are
+//! carried through unchanged, as the paper prescribes.
+
+use nv_ast::*;
+use nv_data::{ColumnType, Database};
+use std::collections::HashSet;
+
+/// A candidate VIS tree with its edit record Δ.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VisCandidate {
+    pub tree: VisQuery,
+    pub edit: TreeEdit,
+}
+
+/// The C/T/Q class of a (possibly aggregated) attribute.
+pub fn attr_ctype(db: &Database, attr: &Attr) -> ColumnType {
+    match attr.agg {
+        AggFunc::Count | AggFunc::Sum | AggFunc::Avg => ColumnType::Quantitative,
+        AggFunc::Max | AggFunc::Min | AggFunc::None => db
+            .column_type(&attr.col.table, &attr.col.column)
+            .unwrap_or(ColumnType::Categorical),
+    }
+}
+
+/// Generate all candidate VIS trees from one SQL tree.
+pub fn generate_candidates(db: &Database, sql: &VisQuery) -> Vec<VisCandidate> {
+    let mut out: Vec<VisCandidate> = Vec::new();
+    let mut seen: HashSet<String> = HashSet::new();
+
+    let attrs = &sql.query.primary().select;
+    let n = attrs.len();
+
+    // Attribute-index subsets of size 1–3 (kept in select order).
+    let mut subsets: Vec<Vec<usize>> = Vec::new();
+    for i in 0..n {
+        subsets.push(vec![i]);
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            subsets.push(vec![i, j]);
+        }
+    }
+    for i in 0..n {
+        for j in i + 1..n {
+            for k in j + 1..n {
+                subsets.push(vec![i, j, k]);
+            }
+        }
+    }
+
+    // Larger subsets first: an identical tree reachable with fewer deletions
+    // dedups onto the cheaper edit record (less manual NL work, §3.1).
+    subsets.reverse();
+    for subset in &subsets {
+        // The Order subtree may be kept or deleted (it is meaningless for
+        // some chart types, e.g. pies — paper §2.3).
+        let order_options: &[bool] = if sql.query.primary().order.is_some() {
+            &[true, false]
+        } else {
+            &[true]
+        };
+        for &keep_order in order_options {
+            for cand in candidates_for_subset(db, sql, subset, keep_order) {
+                if seen.insert(cand.tree.to_vql()) {
+                    out.push(cand);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Build the intermediate tree for one subset and run insertions.
+fn candidates_for_subset(
+    db: &Database,
+    sql: &VisQuery,
+    subset: &[usize],
+    keep_order: bool,
+) -> Vec<VisCandidate> {
+    let primary = sql.query.primary();
+    let mut edit = TreeEdit::default();
+    for (i, a) in primary.select.iter().enumerate() {
+        if !subset.contains(&i) {
+            edit.push(EditOp::DeleteAttr(a.clone()));
+        }
+    }
+    let mut inter = primary.clone();
+    inter.select = subset.iter().map(|&i| primary.select[i].clone()).collect();
+    if !keep_order {
+        if let Some(o) = inter.order.take() {
+            edit.push(EditOp::DeleteOrder(o));
+        }
+    }
+    // Drop an order that refers to a deleted attribute.
+    if let Some(o) = &inter.order {
+        let still_selected = inter.select.iter().any(|a| a.col == o.attr.col) || o.attr.is_aggregated();
+        if !still_selected {
+            edit.push(EditOp::DeleteOrder(inter.order.take().unwrap()));
+        }
+    }
+
+    // For compound (set-op) queries, only single-categorical subsets are
+    // synthesized (both sides must stay arity-aligned); the right body gets
+    // the mirrored transformation by position.
+    let is_compound = sql.query.set_op().is_some();
+    if is_compound && subset.len() != 1 {
+        return Vec::new();
+    }
+
+    let types: Vec<ColumnType> = inter.select.iter().map(|a| attr_ctype(db, a)).collect();
+    let aggregated: Vec<bool> = inter.select.iter().map(Attr::is_aggregated).collect();
+
+    let mut plans: Vec<Plan> = Vec::new();
+    match (types.as_slice(), aggregated.as_slice()) {
+        // One variable.
+        ([ColumnType::Categorical], [false]) => {
+            plans.push(Plan::count_by_group(0, &[ChartType::Bar, ChartType::Pie]));
+        }
+        ([ColumnType::Temporal], [false]) => {
+            plans.push(Plan::count_by_group(0, &[ChartType::Bar, ChartType::Pie, ChartType::Line]));
+            for unit in [BinUnit::Year, BinUnit::Month] {
+                plans.push(Plan::count_by_bin(0, unit, &[ChartType::Bar, ChartType::Pie, ChartType::Line]));
+            }
+        }
+        // Histogram: a single quantitative attribute is numeric-binned.
+        ([ColumnType::Quantitative], [false]) => {
+            plans.push(Plan::count_by_bin(
+                0,
+                BinUnit::Numeric { n_bins: BinUnit::DEFAULT_NUMERIC_BINS },
+                &[ChartType::Bar],
+            ));
+        }
+        // Two variables.
+        ([ColumnType::Categorical, ColumnType::Quantitative], _)
+        | ([ColumnType::Quantitative, ColumnType::Categorical], _) => {
+            let (x, y) = if types[0] == ColumnType::Categorical { (0, 1) } else { (1, 0) };
+            plans.extend(Plan::xy_agg(x, y, aggregated[y], &[ChartType::Bar, ChartType::Pie]));
+        }
+        ([ColumnType::Temporal, ColumnType::Quantitative], _)
+        | ([ColumnType::Quantitative, ColumnType::Temporal], _) => {
+            let (x, y) = if types[0] == ColumnType::Temporal { (0, 1) } else { (1, 0) };
+            let charts = [ChartType::Bar, ChartType::Pie, ChartType::Line];
+            plans.extend(Plan::xy_agg(x, y, aggregated[y], &charts));
+            for unit in [BinUnit::Year, BinUnit::Month] {
+                plans.extend(Plan::xy_bin_agg(x, y, unit, aggregated[y], &charts));
+            }
+        }
+        ([ColumnType::Quantitative, ColumnType::Quantitative], [false, false]) => {
+            plans.push(Plan::raw(vec![0, 1], ChartType::Scatter));
+        }
+        // Three variables.
+        ([a, b, c], _) if three_var_tqc(*a, *b, *c) => {
+            let t = types.iter().position(|t| *t == ColumnType::Temporal).unwrap();
+            let q = types.iter().position(|t| *t == ColumnType::Quantitative).unwrap();
+            let c_ix = (0..3).find(|i| *i != t && *i != q).unwrap();
+            for unit in [BinUnit::Year, BinUnit::Month] {
+                plans.extend(Plan::three_var(
+                    t,
+                    q,
+                    c_ix,
+                    Some(unit),
+                    aggregated[q],
+                    &[ChartType::GroupingLine, ChartType::StackedBar],
+                ));
+            }
+        }
+        ([ColumnType::Categorical, _, _], _) | ([_, _, ColumnType::Categorical], _) | ([_, ColumnType::Categorical, _], _)
+            if types.len() == 3
+                && types.iter().filter(|t| **t == ColumnType::Categorical).count() == 2
+                && types.iter().filter(|t| **t == ColumnType::Quantitative).count() == 1 =>
+        {
+            // C + Q + C → stacked bar.
+            let q = types.iter().position(|t| *t == ColumnType::Quantitative).unwrap();
+            let cs: Vec<usize> = (0..3).filter(|i| *i != q).collect();
+            plans.extend(Plan::three_var(
+                cs[0],
+                q,
+                cs[1],
+                None,
+                aggregated[q],
+                &[ChartType::StackedBar],
+            ));
+        }
+        ([_, _, _], _)
+            if types.iter().filter(|t| **t == ColumnType::Quantitative).count() == 2
+                && types.iter().filter(|t| **t == ColumnType::Categorical).count() == 1
+                && !aggregated.iter().any(|a| *a) =>
+        {
+            // Q + Q + C → grouping scatter (raw points, C as series).
+            let c_ix = types.iter().position(|t| *t == ColumnType::Categorical).unwrap();
+            let qs: Vec<usize> = (0..3).filter(|i| *i != c_ix).collect();
+            plans.push(Plan::raw(vec![qs[0], qs[1], c_ix], ChartType::GroupingScatter));
+        }
+        _ => {}
+    }
+
+    let mut out = Vec::new();
+    for plan in plans {
+        out.extend(plan.realize(db, sql, &inter, &edit));
+    }
+    out
+}
+
+fn three_var_tqc(a: ColumnType, b: ColumnType, c: ColumnType) -> bool {
+    let types = [a, b, c];
+    types.iter().filter(|t| **t == ColumnType::Temporal).count() == 1
+        && types.iter().filter(|t| **t == ColumnType::Quantitative).count() == 1
+        && types.iter().filter(|t| **t == ColumnType::Categorical).count() == 1
+}
+
+/// A chart-construction plan over the intermediate tree's select positions.
+#[derive(Debug, Clone)]
+struct Plan {
+    /// Select positions in channel order (x, [y], [series]).
+    channels: Vec<usize>,
+    /// Insert `count(*)` as the y channel.
+    add_count: bool,
+    /// Wrap the y channel with these aggregates (one candidate per entry);
+    /// empty = leave as-is.
+    y_aggs: Vec<AggFunc>,
+    /// Group by the x (and series) channels.
+    group_x: bool,
+    /// Bin the x channel.
+    bin: Option<BinUnit>,
+    charts: Vec<ChartType>,
+    /// Also emit a variant ordered by y descending (bar-family only).
+    orderable: bool,
+}
+
+impl Plan {
+    fn count_by_group(x: usize, charts: &[ChartType]) -> Plan {
+        Plan {
+            channels: vec![x],
+            add_count: true,
+            y_aggs: vec![],
+            group_x: true,
+            bin: None,
+            charts: charts.to_vec(),
+            orderable: true,
+        }
+    }
+
+    fn count_by_bin(x: usize, unit: BinUnit, charts: &[ChartType]) -> Plan {
+        Plan {
+            channels: vec![x],
+            add_count: true,
+            y_aggs: vec![],
+            group_x: false,
+            bin: Some(unit),
+            charts: charts.to_vec(),
+            orderable: false,
+        }
+    }
+
+    fn xy_agg(x: usize, y: usize, y_already_agg: bool, charts: &[ChartType]) -> Vec<Plan> {
+        let mut plans = Vec::new();
+        plans.push(Plan {
+            channels: vec![x, y],
+            add_count: false,
+            y_aggs: if y_already_agg { vec![] } else { vec![AggFunc::Sum, AggFunc::Avg] },
+            group_x: true,
+            bin: None,
+            charts: charts.to_vec(),
+            orderable: true,
+        });
+        if !y_already_agg {
+            // The "none" row of Table 1: raw pairs, no grouping.
+            plans.push(Plan {
+                channels: vec![x, y],
+                add_count: false,
+                y_aggs: vec![],
+                group_x: false,
+                bin: None,
+                charts: charts.to_vec(),
+                orderable: false,
+            });
+        }
+        plans
+    }
+
+    fn xy_bin_agg(
+        x: usize,
+        y: usize,
+        unit: BinUnit,
+        y_already_agg: bool,
+        charts: &[ChartType],
+    ) -> Vec<Plan> {
+        vec![Plan {
+            channels: vec![x, y],
+            add_count: false,
+            y_aggs: if y_already_agg { vec![] } else { vec![AggFunc::Sum, AggFunc::Avg] },
+            group_x: false,
+            bin: Some(unit),
+            charts: charts.to_vec(),
+            orderable: false,
+        }]
+    }
+
+    fn three_var(
+        x: usize,
+        y: usize,
+        series: usize,
+        bin: Option<BinUnit>,
+        y_already_agg: bool,
+        charts: &[ChartType],
+    ) -> Vec<Plan> {
+        vec![Plan {
+            channels: vec![x, y, series],
+            add_count: false,
+            y_aggs: if y_already_agg { vec![] } else { vec![AggFunc::Sum] },
+            group_x: bin.is_none(),
+            bin,
+            charts: charts.to_vec(),
+            orderable: false,
+        }]
+    }
+
+    fn raw(channels: Vec<usize>, chart: ChartType) -> Plan {
+        Plan {
+            channels,
+            add_count: false,
+            y_aggs: vec![],
+            group_x: false,
+            bin: None,
+            charts: vec![chart],
+            orderable: false,
+        }
+    }
+
+    /// Materialize the plan into concrete VIS trees.
+    fn realize(
+        &self,
+        _db: &Database,
+        sql: &VisQuery,
+        inter: &QueryBody,
+        base_edit: &TreeEdit,
+    ) -> Vec<VisCandidate> {
+        let agg_options: Vec<Option<AggFunc>> = if self.y_aggs.is_empty() {
+            vec![None]
+        } else {
+            self.y_aggs.iter().copied().map(Some).collect()
+        };
+
+        let mut out = Vec::new();
+        for agg in &agg_options {
+            for &chart in &self.charts {
+                let mut edit = base_edit.clone();
+                let mut body = inter.clone();
+
+                // Channel-ordered projection.
+                let mut select: Vec<Attr> =
+                    self.channels.iter().map(|&i| inter.select[i].clone()).collect();
+
+                // y channel: count(*) insertion or aggregate wrap.
+                if self.add_count {
+                    let table = body.from[0].clone();
+                    let count = Attr::agg(AggFunc::Count, table, "*");
+                    edit.push(EditOp::InsertAgg {
+                        attr: count.col.clone(),
+                        agg: AggFunc::Count,
+                    });
+                    select.push(count);
+                } else if let Some(agg) = agg {
+                    let y = &mut select[1];
+                    edit.push(EditOp::InsertAgg { attr: y.col.clone(), agg: *agg });
+                    y.agg = *agg;
+                }
+
+                // Grouping / binning insertions on the x (and series) cols.
+                let x_col = select[0].col.clone();
+                let mut group = body.group.take().unwrap_or_default();
+                if let Some(unit) = self.bin {
+                    if group.bin.as_ref().map(|b| (&b.col, b.unit)) != Some((&x_col, unit)) {
+                        let spec = BinSpec { col: x_col.clone(), unit };
+                        edit.push(EditOp::InsertBinning(spec.clone()));
+                        group.bin = Some(spec);
+                    }
+                    // A bin replaces grouping on the same column.
+                    group.group_by.retain(|c| *c != x_col);
+                } else if self.group_x && !select[0].is_aggregated()
+                    && !group.group_by.contains(&x_col) {
+                        edit.push(EditOp::InsertGrouping(x_col.clone()));
+                        group.group_by.push(x_col.clone());
+                    }
+                if chart.is_grouped() {
+                    if let Some(series) = select.get(2).cloned() {
+                        if chart != ChartType::GroupingScatter
+                            && !series.is_aggregated()
+                            && !group.group_by.contains(&series.col)
+                        {
+                            edit.push(EditOp::InsertGrouping(series.col.clone()));
+                            group.group_by.push(series.col.clone());
+                        }
+                    }
+                }
+                // Stale grouping keys (on deleted attributes) would change
+                // the aggregation grain invisibly; keep only keys that are
+                // projected or binned.
+                group
+                    .group_by
+                    .retain(|c| select.iter().any(|a| a.col == *c));
+                body.group = (!group.is_empty()).then_some(group);
+                body.select = select;
+
+                // Order must reference a surviving channel; otherwise it was
+                // deleted above. Pie/scatter cannot carry order.
+                if matches!(chart, ChartType::Pie | ChartType::Scatter | ChartType::GroupingScatter)
+                {
+                    if let Some(o) = body.order.take() {
+                        edit.push(EditOp::DeleteOrder(o));
+                    }
+                }
+
+                let mut vedit = edit.clone();
+                vedit.push(EditOp::InsertVisualize(chart));
+                let tree = rebuild(sql, body.clone(), chart);
+                out.push(VisCandidate { tree, edit: vedit.clone() });
+
+                // Ordered variant: bar-family sorted by y descending.
+                if self.orderable
+                    && matches!(chart, ChartType::Bar)
+                    && body.order.is_none()
+                    && body.superlative.is_none()
+                {
+                    let y_attr = body.select[1].clone();
+                    let spec = OrderSpec { attr: y_attr, dir: OrderDir::Desc };
+                    let mut obody = body.clone();
+                    obody.order = Some(spec.clone());
+                    let mut oedit = vedit;
+                    oedit.push(EditOp::InsertOrder(spec));
+                    out.push(VisCandidate { tree: rebuild(sql, obody, chart), edit: oedit });
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Reassemble the full query around the edited primary body, mirroring
+/// select-level edits onto the right side of a set operation.
+fn rebuild(sql: &VisQuery, primary: QueryBody, chart: ChartType) -> VisQuery {
+    let query = match &sql.query {
+        SetQuery::Simple(_) => SetQuery::Simple(Box::new(primary)),
+        SetQuery::Compound { op, right, .. } => {
+            // Mirror: keep the right body but align its projection with the
+            // left (same positions; counts/groupings mirrored by column
+            // position where possible).
+            let mut r = (**right).clone();
+            let mirrored: Vec<Attr> = primary
+                .select
+                .iter()
+                .map(|a| {
+                    if a.agg == AggFunc::Count && a.col.is_star() {
+                        Attr::agg(AggFunc::Count, r.from[0].clone(), "*")
+                    } else {
+                        // Same-named column on the right table if present;
+                        // otherwise reuse the left attr (tables often match).
+                        a.clone()
+                    }
+                })
+                .collect();
+            r.select = mirrored;
+            if let Some(g) = &primary.group {
+                let mut rg = GroupSpec::default();
+                for c in &g.group_by {
+                    rg.group_by.push(c.clone());
+                }
+                rg.bin = g.bin.clone();
+                r.group = Some(rg);
+            } else {
+                r.group = None;
+            }
+            SetQuery::Compound {
+                op: *op,
+                left: Box::new(primary),
+                right: Box::new(r),
+            }
+        }
+    };
+    VisQuery::vis(chart, query)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nv_data::{table_from, Value};
+
+    fn db() -> Database {
+        let mut db = Database::new("d", "Demo");
+        db.add_table(table_from(
+            "emp",
+            &[
+                ("name", ColumnType::Categorical),
+                ("dept", ColumnType::Categorical),
+                ("salary", ColumnType::Quantitative),
+                ("age", ColumnType::Quantitative),
+                ("hired", ColumnType::Temporal),
+            ],
+            vec![
+                vec![
+                    Value::text("a"),
+                    Value::text("x"),
+                    Value::Int(100),
+                    Value::Int(30),
+                    Value::text("2020-01-01"),
+                ],
+                vec![
+                    Value::text("b"),
+                    Value::text("y"),
+                    Value::Int(200),
+                    Value::Int(40),
+                    Value::text("2021-02-01"),
+                ],
+            ],
+        ));
+        db
+    }
+
+    fn sql(vql: &str) -> VisQuery {
+        nv_ast::tokens::parse_vql_str(vql).unwrap()
+    }
+
+    fn charts_of(cands: &[VisCandidate]) -> HashSet<ChartType> {
+        cands.iter().filter_map(|c| c.tree.chart).collect()
+    }
+
+    #[test]
+    fn single_categorical_gives_bar_and_pie() {
+        let cands = generate_candidates(&db(), &sql("select emp.dept from emp"));
+        let charts = charts_of(&cands);
+        assert!(charts.contains(&ChartType::Bar));
+        assert!(charts.contains(&ChartType::Pie));
+        // Each candidate groups by dept and counts.
+        for c in &cands {
+            let b = c.tree.query.primary();
+            assert_eq!(b.select.len(), 2, "{}", c.tree.to_vql());
+            assert!(b.select[1].agg == AggFunc::Count);
+            let has_group_or_bin = b.group.is_some();
+            assert!(has_group_or_bin);
+        }
+    }
+
+    #[test]
+    fn temporal_also_gives_line_and_bins() {
+        let cands = generate_candidates(&db(), &sql("select emp.hired from emp"));
+        let charts = charts_of(&cands);
+        assert!(charts.contains(&ChartType::Line));
+        assert!(cands.iter().any(|c| c.tree.query.primary().group.as_ref().is_some_and(
+            |g| g.bin.as_ref().is_some_and(|b| b.unit == BinUnit::Year)
+        )));
+        assert!(cands.iter().any(|c| c.tree.query.primary().group.as_ref().is_some_and(
+            |g| g.bin.as_ref().is_some_and(|b| b.unit == BinUnit::Month)
+        )));
+    }
+
+    #[test]
+    fn cq_pairs_get_aggregates_and_ordering_variants() {
+        let cands = generate_candidates(&db(), &sql("select emp.dept , emp.salary from emp"));
+        // Sum and Avg variants exist.
+        let has_sum = cands.iter().any(|c| c.tree.query.primary().select[1].agg == AggFunc::Sum);
+        let has_avg = cands.iter().any(|c| c.tree.query.primary().select[1].agg == AggFunc::Avg);
+        assert!(has_sum && has_avg);
+        // Ordered bar variant exists.
+        assert!(cands
+            .iter()
+            .any(|c| c.tree.chart == Some(ChartType::Bar) && c.tree.query.primary().order.is_some()));
+        // Subset deletions also yield single-attr charts (dept alone, salary alone).
+        assert!(cands
+            .iter()
+            .any(|c| c.edit.deletion_count() == 1));
+    }
+
+    #[test]
+    fn qq_gives_scatter_only() {
+        let cands = generate_candidates(&db(), &sql("select emp.salary , emp.age from emp"));
+        let pair_charts: HashSet<ChartType> = cands
+            .iter()
+            .filter(|c| c.tree.query.primary().select.len() == 2
+                && c.tree.query.primary().select.iter().all(|a| a.agg == AggFunc::None))
+            .filter_map(|c| c.tree.chart)
+            .collect();
+        assert!(pair_charts.contains(&ChartType::Scatter));
+        assert!(!pair_charts.contains(&ChartType::Line));
+    }
+
+    #[test]
+    fn three_var_tqc_gives_grouping_charts() {
+        let cands = generate_candidates(
+            &db(),
+            &sql("select emp.hired , emp.salary , emp.dept from emp"),
+        );
+        let charts = charts_of(&cands);
+        assert!(charts.contains(&ChartType::GroupingLine), "{charts:?}");
+        assert!(charts.contains(&ChartType::StackedBar));
+        // The grouping-line candidates bin the temporal x and group the C.
+        let gl = cands
+            .iter()
+            .find(|c| c.tree.chart == Some(ChartType::GroupingLine))
+            .unwrap();
+        let g = gl.tree.query.primary().group.as_ref().unwrap();
+        assert!(g.bin.is_some());
+        assert!(g.group_by.iter().any(|c| c.column == "dept"));
+    }
+
+    #[test]
+    fn cqc_gives_stacked_bar() {
+        let cands = generate_candidates(
+            &db(),
+            &sql("select emp.dept , emp.salary , emp.name from emp"),
+        );
+        assert!(charts_of(&cands).contains(&ChartType::StackedBar));
+    }
+
+    #[test]
+    fn qqc_gives_grouping_scatter() {
+        let cands = generate_candidates(
+            &db(),
+            &sql("select emp.salary , emp.age , emp.dept from emp"),
+        );
+        assert!(charts_of(&cands).contains(&ChartType::GroupingScatter));
+    }
+
+    #[test]
+    fn filter_and_superlative_carry_through() {
+        let cands = generate_candidates(
+            &db(),
+            &sql("select emp.dept from emp where emp.age > 20 top 5 by emp.salary"),
+        );
+        assert!(!cands.is_empty());
+        for c in &cands {
+            assert!(c.tree.query.primary().filter.is_some(), "{}", c.tree.to_vql());
+            assert!(c.tree.query.primary().superlative.is_some());
+        }
+    }
+
+    #[test]
+    fn order_deletion_variant_recorded() {
+        let cands = generate_candidates(
+            &db(),
+            &sql("select emp.dept , emp.salary from emp order by emp.salary desc"),
+        );
+        assert!(cands.iter().any(|c| c
+            .edit
+            .deletions()
+            .any(|op| matches!(op, EditOp::DeleteOrder(_)))));
+    }
+
+    #[test]
+    fn deletions_recorded_for_subsets() {
+        let cands = generate_candidates(
+            &db(),
+            &sql("select emp.dept , emp.salary , emp.age , emp.name from emp"),
+        );
+        // Some candidate deleted at least two attributes (subset of size ≤ 2).
+        assert!(cands.iter().any(|c| c.edit.deletion_count() >= 2));
+        // All candidates have a Visualize… chart set.
+        assert!(cands.iter().all(|c| c.tree.is_vis()));
+    }
+
+    #[test]
+    fn candidates_are_unique_and_executable() {
+        let d = db();
+        let cands = generate_candidates(
+            &d,
+            &sql("select emp.dept , emp.salary , emp.hired from emp where emp.age > 20"),
+        );
+        let mut seen = HashSet::new();
+        for c in &cands {
+            assert!(seen.insert(c.tree.to_vql()), "dup: {}", c.tree.to_vql());
+            nv_data::execute(&d, &c.tree)
+                .unwrap_or_else(|e| panic!("{}: {e}", c.tree.to_vql()));
+        }
+        assert!(cands.len() >= 10, "only {} candidates", cands.len());
+    }
+
+    #[test]
+    fn compound_queries_stay_arity_aligned() {
+        let d = db();
+        let q = sql(
+            "select emp.dept from emp where emp.age > 25 \
+             union select emp.dept from emp where emp.salary > 150",
+        );
+        let cands = generate_candidates(&d, &q);
+        assert!(!cands.is_empty());
+        for c in &cands {
+            let rs = nv_data::execute(&d, &c.tree);
+            assert!(rs.is_ok(), "{}: {:?}", c.tree.to_vql(), rs.err());
+        }
+    }
+
+    #[test]
+    fn single_quantitative_becomes_histogram() {
+        let cands = generate_candidates(&db(), &sql("select emp.salary from emp"));
+        let hist = cands
+            .iter()
+            .find(|c| c.tree.chart == Some(ChartType::Bar))
+            .expect("histogram candidate");
+        let g = hist.tree.query.primary().group.as_ref().unwrap();
+        assert!(matches!(g.bin.as_ref().unwrap().unit, BinUnit::Numeric { .. }));
+    }
+}

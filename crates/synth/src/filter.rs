@@ -1,0 +1,115 @@
+//! Step 1b — pruning bad candidate visualizations with the DeepEye-style
+//! filter (§2.4): execute each candidate, extract its chart data, apply the
+//! expert rules and the trained classifier; only good charts survive.
+
+use crate::edits::VisCandidate;
+use nv_data::Database;
+use nv_quality::DeepEyeFilter;
+use nv_render::{chart_data, ChartData};
+
+/// A candidate that survived filtering, with its executed chart data.
+#[derive(Debug, Clone)]
+pub struct GoodVis {
+    pub candidate: VisCandidate,
+    pub data: ChartData,
+}
+
+/// Statistics from one filtering pass.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FilterStats {
+    pub total: usize,
+    pub kept: usize,
+    /// Candidates whose execution failed (shape errors etc.).
+    pub failed_exec: usize,
+    /// Candidates pruned by the rules or the classifier.
+    pub pruned: usize,
+}
+
+/// Apply M(v) to every candidate, keeping the good ones.
+pub fn filter_candidates(
+    db: &Database,
+    candidates: Vec<VisCandidate>,
+    filter: &DeepEyeFilter,
+) -> (Vec<GoodVis>, FilterStats) {
+    let mut stats = FilterStats { total: candidates.len(), ..Default::default() };
+    let mut good = Vec::new();
+    for candidate in candidates {
+        match chart_data(db, &candidate.tree) {
+            Err(_) => stats.failed_exec += 1,
+            Ok(data) => {
+                if filter.is_good(&data) {
+                    stats.kept += 1;
+                    good.push(GoodVis { candidate, data });
+                } else {
+                    stats.pruned += 1;
+                }
+            }
+        }
+    }
+    (good, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::edits::generate_candidates;
+    use nv_ast::tokens::parse_vql_str;
+    use nv_data::{table_from, ColumnType, Value};
+
+    fn db(n_cats: usize) -> Database {
+        let mut db = Database::new("d", "Demo");
+        db.add_table(table_from(
+            "t",
+            &[
+                ("cat", ColumnType::Categorical),
+                ("q", ColumnType::Quantitative),
+            ],
+            (0..(n_cats * 3))
+                .map(|i| {
+                    vec![
+                        Value::text(format!("c{}", i % n_cats)),
+                        Value::Int((i % 11) as i64),
+                    ]
+                })
+                .collect(),
+        ));
+        db
+    }
+
+    #[test]
+    fn keeps_good_prunes_bad() {
+        let filter = DeepEyeFilter::new(42);
+        // 6 categories → good bar charts.
+        let good_db = db(6);
+        let cands = generate_candidates(
+            &good_db,
+            &parse_vql_str("select t.cat , t.q from t").unwrap(),
+        );
+        let (good, stats) = filter_candidates(&good_db, cands, &filter);
+        assert!(stats.kept > 0, "{stats:?}");
+        assert_eq!(stats.total, stats.kept + stats.pruned + stats.failed_exec);
+        assert!(!good.is_empty());
+
+        // 300 categories → bar/pie variants all pruned.
+        let bad_db = db(300);
+        let cands = generate_candidates(
+            &bad_db,
+            &parse_vql_str("select t.cat from t").unwrap(),
+        );
+        let (good, stats) = filter_candidates(&bad_db, cands, &filter);
+        assert_eq!(good.len(), 0, "{stats:?}");
+        assert!(stats.pruned > 0);
+    }
+
+    #[test]
+    fn good_vis_carries_chart_data() {
+        let filter = DeepEyeFilter::new(42);
+        let d = db(5);
+        let cands = generate_candidates(&d, &parse_vql_str("select t.cat from t").unwrap());
+        let (good, _) = filter_candidates(&d, cands, &filter);
+        for g in &good {
+            assert!(!g.data.rows.is_empty());
+            assert_eq!(Some(g.data.chart), g.candidate.tree.chart);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! NL smoothing — the back-translation substitute.
+//!
+//! The paper smooths rule-inserted NL with English→French→English
+//! back-translation. No MT model can run in this offline reproduction, so
+//! (DESIGN.md, Substitution 3) a deterministic paraphrase smoother plays the
+//! same role: seeded synonym substitution, light clause reordering and
+//! punctuation normalization. Its effect is measured the same way the paper
+//! measures back-translation's — via pairwise BLEU diversity (Table 3).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Synonym classes used for substitution. Each row is an equivalence class;
+/// any member may be rewritten to any other.
+const SYNONYMS: &[&[&str]] = &[
+    &["show", "display", "present", "give me"],
+    &["draw", "plot", "sketch"],
+    &["chart", "graph"],
+    &["for each", "for every", "per"],
+    &["grouped by", "broken down by", "split by"],
+    &["number of", "count of", "total number of"],
+    &["average", "mean"],
+    &["total", "sum of", "overall"],
+    &["maximum", "highest", "largest"],
+    &["minimum", "lowest", "smallest"],
+    &["descending", "decreasing"],
+    &["ascending", "increasing"],
+    &["proportion", "share", "percentage"],
+    &["trend", "change over time"],
+    &["whose", "where the"],
+    &["sorted by", "ordered by", "ranked by"],
+];
+
+/// Apply the smoother to one sentence. `strength` ∈ [0, 1] is the
+/// per-opportunity substitution probability.
+pub fn smooth(rng: &mut StdRng, sentence: &str, strength: f64) -> String {
+    let mut s = sentence.to_string();
+    // Work lowercase for matching, restore sentence case at the end.
+    let mut lower = s.to_lowercase();
+    for class in SYNONYMS {
+        for (i, &from) in class.iter().enumerate() {
+            if lower.contains(from) && rng.random::<f64>() < strength {
+                let mut to = from;
+                while to == from && class.len() > 1 {
+                    to = class[rng.random_range(0..class.len())];
+                }
+                let _ = i;
+                // Replace the first occurrence only (keeps sentences from
+                // degenerating on repeated words).
+                if let Some(pos) = lower.find(from) {
+                    s = format!("{}{}{}", &s[..pos], to, &s[pos + from.len()..]);
+                    lower = s.to_lowercase();
+                }
+            }
+        }
+    }
+    normalize(&s)
+}
+
+/// Punctuation/space/case normalization: collapse runs of spaces, remove
+/// space-before-punctuation, avoid doubled terminal punctuation, capitalize
+/// the first letter, guarantee a terminal `.`/`?`.
+pub fn normalize(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut prev_space = false;
+    for ch in s.trim().chars() {
+        if ch.is_whitespace() {
+            prev_space = true;
+            continue;
+        }
+        if matches!(ch, '.' | ',' | '?' | '!' | ';' | ':') {
+            // Drop the pending space before punctuation, and collapse
+            // punctuation runs.
+            if out.ends_with(['.', ',', '?', '!', ';', ':']) {
+                out.pop();
+            }
+            out.push(ch);
+            prev_space = false;
+            continue;
+        }
+        if prev_space && !out.is_empty() {
+            out.push(' ');
+        }
+        prev_space = false;
+        out.push(ch);
+    }
+    // Sentence case.
+    let mut chars: Vec<char> = out.chars().collect();
+    if let Some(first) = chars.first_mut() {
+        *first = first.to_ascii_uppercase();
+    }
+    let mut out: String = chars.into_iter().collect();
+    if !out.ends_with('.') && !out.ends_with('?') && !out.ends_with('!') {
+        out.push('.');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn normalize_cleans_spacing_and_case() {
+        assert_eq!(normalize("show  me the   data ."), "Show me the data.");
+        assert_eq!(normalize("what is this ?"), "What is this?");
+        assert_eq!(normalize("double .. dots.."), "Double. dots.");
+        assert_eq!(normalize("no terminal"), "No terminal.");
+        assert_eq!(normalize("  spaced , commas ,here. "), "Spaced, commas,here.");
+    }
+
+    #[test]
+    fn smoothing_preserves_meaning_tokens() {
+        let mut r = rng();
+        let s = smooth(&mut r, "Show the number of players for each team.", 1.0);
+        // Chart-irrelevant content words survive.
+        assert!(s.to_lowercase().contains("players"));
+        assert!(s.to_lowercase().contains("team"));
+        // Something was substituted at full strength.
+        assert_ne!(s, "Show the number of players for each team.");
+    }
+
+    #[test]
+    fn zero_strength_only_normalizes() {
+        let mut r = rng();
+        let s = smooth(&mut r, "show the trend of sales.", 0.0);
+        assert_eq!(s, "Show the trend of sales.");
+    }
+
+    #[test]
+    fn smoothing_is_seed_deterministic() {
+        let a = smooth(&mut StdRng::seed_from_u64(5), "Show the average salary per rank.", 0.8);
+        let b = smooth(&mut StdRng::seed_from_u64(5), "Show the average salary per rank.", 0.8);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn increases_surface_diversity() {
+        // Different seeds produce different paraphrases of the same input.
+        let base = "Show the total sales for each region in a bar chart.";
+        let variants: std::collections::HashSet<String> = (0..8)
+            .map(|i| smooth(&mut StdRng::seed_from_u64(i), base, 0.7))
+            .collect();
+        assert!(variants.len() >= 3, "{variants:?}");
+    }
+}

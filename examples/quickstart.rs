@@ -1,0 +1,76 @@
+//! Quickstart: synthesize (NL, VIS) pairs from a single (NL, SQL) pair —
+//! the paper's running example (Figure 4 / Example 5), end to end.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use nvbench::prelude::*;
+
+fn main() {
+    // A small college database (the Example-5 faculty table, upsized so the
+    // chart-quality filter has real data to judge).
+    let mut db = Database::new("college", "College");
+    let ranks = ["assistant", "associate", "full", "adjunct", "emeritus"];
+    let sexes = ["male", "female"];
+    db.add_table(nvbench::data::table_from(
+        "faculty",
+        &[
+            ("sex", ColumnType::Categorical),
+            ("rank", ColumnType::Categorical),
+            ("salary", ColumnType::Quantitative),
+            ("hired", ColumnType::Temporal),
+        ],
+        (0..60)
+            .map(|i| {
+                vec![
+                    Value::text(sexes[i % 2]),
+                    Value::text(ranks[i % 5]),
+                    Value::Int(70_000 + (i as i64 * 937) % 60_000),
+                    Value::text(format!("20{:02}-0{}-15", 10 + i % 12, 1 + i % 9)),
+                ]
+            })
+            .collect(),
+    ));
+
+    // The input (NL, SQL) pair — what an NL2SQL benchmark provides.
+    let nl = "How many male and female faculties do we have?";
+    let sql = "SELECT sex, COUNT(*) FROM faculty GROUP BY sex";
+    println!("input NL : {nl}");
+    println!("input SQL: {sql}\n");
+
+    // Run the nl2sql-to-nl2vis synthesizer on it.
+    let synth = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
+    let result = synth
+        .synthesize_pair(&db, nl, sql, 7)
+        .expect("pipeline runs");
+
+    println!(
+        "candidates: {} generated, {} kept after DeepEye-style filtering\n",
+        result.filter_stats.total, result.filter_stats.kept
+    );
+
+    for (good, variants, needs_manual) in &result.outputs {
+        let tree = &good.candidate.tree;
+        println!("── vis: {} ({})", tree.chart.unwrap().display_name(), Hardness::of(tree));
+        println!("   VQL: {}", tree.to_vql());
+        println!(
+            "   Δ: {} deletions, {} insertions{}",
+            good.candidate.edit.deletion_count(),
+            good.candidate.edit.insertion_count(),
+            if *needs_manual { " (NL manually revised)" } else { "" }
+        );
+        for v in variants {
+            println!("   nl: {v}");
+        }
+        // Render to both target languages (§2.6).
+        let cd = chart_data(&db, tree).expect("executes");
+        let vega = to_vega_lite(&cd);
+        let echarts = to_echarts(&cd);
+        println!(
+            "   Vega-Lite mark: {}, ECharts series: {}",
+            vega["mark"], echarts["series"][0]["type"]
+        );
+        println!();
+    }
+}

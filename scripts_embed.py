@@ -1,0 +1,7 @@
+# One-shot helper: embed reproduce_full.txt into EXPERIMENTS.md appendix.
+p = 'EXPERIMENTS.md'
+s = open(p).read()
+out = open('reproduce_full.txt').read()
+s = s.replace('@REPRODUCE_OUTPUT@', out.strip())
+open(p, 'w').write(s)
+print('embedded', len(out), 'bytes')

@@ -1,0 +1,311 @@
+//! Property-based tests over the core data structures and invariants:
+//! VQL linearization round-trips, SQL rendering round-trips, executor
+//! sanity, and statistic bounds.
+
+use nvbench::ast::{self, *};
+use nvbench::data::{table_from, ColumnType, Database, Value};
+use nvbench::sql::{parse_sql, to_sql};
+use proptest::prelude::*;
+
+// ---- generators ----------------------------------------------------------
+
+fn arb_chart() -> impl Strategy<Value = ChartType> {
+    prop::sample::select(ChartType::ALL.to_vec())
+}
+
+fn arb_agg() -> impl Strategy<Value = AggFunc> {
+    prop::sample::select(vec![
+        AggFunc::None,
+        AggFunc::Max,
+        AggFunc::Min,
+        AggFunc::Count,
+        AggFunc::Sum,
+        AggFunc::Avg,
+    ])
+}
+
+fn ident() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+fn arb_attr() -> impl Strategy<Value = Attr> {
+    (arb_agg(), ident(), ident(), any::<bool>()).prop_map(|(agg, t, c, star)| Attr {
+        distinct: false,
+        col: ColumnRef::new(t, if star && agg == AggFunc::Count { "*".into() } else { c }),
+        agg,
+    })
+}
+
+fn arb_literal() -> impl Strategy<Value = Literal> {
+    prop_oneof![
+        any::<i32>().prop_map(|i| Literal::Int(i64::from(i))),
+        (-1e6f64..1e6f64).prop_map(Literal::Float),
+        "[a-zA-Z0-9 '%_.-]{0,12}".prop_map(Literal::Text),
+        Just(Literal::Null),
+        any::<bool>().prop_map(Literal::Bool),
+    ]
+}
+
+fn arb_predicate() -> impl Strategy<Value = Predicate> {
+    let leaf = prop_oneof![
+        (arb_attr(), arb_literal(), prop::sample::select(vec![
+            CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge
+        ]))
+            .prop_map(|(attr, lit, op)| Predicate::Cmp { op, attr, rhs: Operand::Lit(lit) }),
+        (arb_attr(), arb_literal(), arb_literal()).prop_map(|(attr, lo, hi)| {
+            Predicate::Between { attr, low: Operand::Lit(lo), high: Operand::Lit(hi) }
+        }),
+        (arb_attr(), "[a-z%_]{1,8}", any::<bool>()).prop_map(|(attr, pattern, negated)| {
+            Predicate::Like { attr, pattern, negated }
+        }),
+        (arb_attr(), prop::collection::vec(arb_literal(), 1..4), any::<bool>()).prop_map(
+            |(attr, lits, negated)| Predicate::In { attr, rhs: Operand::List(lits), negated }
+        ),
+    ];
+    leaf.prop_recursive(3, 12, 2, |inner| {
+        (inner.clone(), inner, any::<bool>()).prop_map(|(l, r, and)| {
+            if and {
+                Predicate::And(Box::new(l), Box::new(r))
+            } else {
+                Predicate::Or(Box::new(l), Box::new(r))
+            }
+        })
+    })
+}
+
+prop_compose! {
+    fn arb_body()(
+        table in ident(),
+        select in prop::collection::vec(arb_attr(), 1..4),
+        filter in prop::option::of(arb_predicate()),
+        group_col in prop::option::of(ident()),
+        bin in prop::option::of((ident(), prop::sample::select(vec![
+            BinUnit::Minute, BinUnit::Hour, BinUnit::Weekday, BinUnit::Month,
+            BinUnit::Quarter, BinUnit::Year, BinUnit::Numeric { n_bins: 10 },
+        ]))),
+        order in prop::option::of((arb_attr(), any::<bool>())),
+        superlative in prop::option::of((arb_attr(), 1u64..50, any::<bool>())),
+    ) -> QueryBody {
+        let mut body = QueryBody::simple(table.clone(), select);
+        body.filter = filter;
+        let mut g = GroupSpec::default();
+        if let Some(c) = group_col {
+            g.group_by.push(ColumnRef::new(table.clone(), c));
+        }
+        if let Some((c, unit)) = bin {
+            g.bin = Some(BinSpec { col: ColumnRef::new(table.clone(), c), unit });
+        }
+        body.group = (!g.is_empty()).then_some(g);
+        body.order = order.map(|(attr, desc)| OrderSpec {
+            attr,
+            dir: if desc { OrderDir::Desc } else { OrderDir::Asc },
+        });
+        body.superlative = superlative.map(|(attr, k, most)| Superlative {
+            dir: if most { SuperDir::Most } else { SuperDir::Least },
+            k,
+            attr,
+        });
+        body
+    }
+}
+
+fn arb_tree() -> impl Strategy<Value = VisQuery> {
+    (
+        prop::option::of(arb_chart()),
+        arb_body(),
+        prop::option::of((
+            prop::sample::select(vec![SetOp::Intersect, SetOp::Union, SetOp::Except]),
+            arb_body(),
+        )),
+    )
+        .prop_map(|(chart, left, tail)| {
+            let query = match tail {
+                None => SetQuery::Simple(Box::new(left)),
+                Some((op, right)) => SetQuery::Compound {
+                    op,
+                    left: Box::new(left),
+                    right: Box::new(right),
+                },
+            };
+            VisQuery { chart, query }
+        })
+}
+
+// ---- properties ----------------------------------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(192))]
+
+    /// Every AST linearizes to VQL tokens that parse back to the same AST.
+    #[test]
+    fn vql_round_trips(tree in arb_tree()) {
+        let tokens = tree.to_tokens();
+        let back = ast::parse_vql(&tokens)
+            .unwrap_or_else(|e| panic!("{e} on {}", tree.to_vql()));
+        prop_assert_eq!(back, tree);
+    }
+
+    /// The space-joined VQL string re-tokenizes identically (quote-safe).
+    #[test]
+    fn vql_string_round_trips(tree in arb_tree()) {
+        let s = tree.to_vql();
+        let tokens = ast::tokens::tokenize_vql(&s);
+        let back = ast::parse_vql(&tokens).map_err(|e| TestCaseError::fail(format!("{e}: {s}")))?;
+        prop_assert_eq!(back, tree);
+    }
+
+    /// Hardness is total and stable under re-parsing.
+    #[test]
+    fn hardness_is_stable(tree in arb_tree()) {
+        let h1 = Hardness::of(&tree);
+        let back = ast::parse_vql(&tree.to_tokens()).unwrap();
+        prop_assert_eq!(h1, Hardness::of(&back));
+    }
+
+    /// Component signatures are deterministic and chart-sensitive.
+    #[test]
+    fn components_deterministic(tree in arb_tree()) {
+        let a = Components::of(&tree);
+        let b = Components::of(&tree);
+        prop_assert_eq!(&a, &b);
+        if tree.chart.is_some() {
+            prop_assert!(!a.vis.is_empty());
+        }
+    }
+
+    /// Value masking never destroys parseability, and filling restores a
+    /// parseable sequence.
+    #[test]
+    fn mask_fill_parses(tree in arb_tree()) {
+        let (masked, _) = nvbench::seq2vis::mask_values(&tree.to_tokens());
+        let filled = nvbench::seq2vis::fill_values(&masked, "probe 5 'x' 7 2.5 'y' 9 12");
+        prop_assert!(ast::parse_vql(&filled).is_ok(),
+            "unparseable after fill: {}", filled.join(" "));
+    }
+}
+
+// SQL round trip needs schema-valid queries; drive it from the executor's
+// demo database with constrained generators instead.
+fn demo_db() -> Database {
+    let mut db = Database::new("d", "Demo");
+    db.add_table(table_from(
+        "items",
+        &[
+            ("name", ColumnType::Categorical),
+            ("price", ColumnType::Quantitative),
+            ("qty", ColumnType::Quantitative),
+            ("added", ColumnType::Temporal),
+        ],
+        (0..25)
+            .map(|i| {
+                vec![
+                    Value::text(format!("item{}", i % 7)),
+                    Value::Int((i * 13 % 90) as i64),
+                    Value::Int((i % 5) as i64),
+                    Value::text(format!("20{:02}-0{}-11", 10 + i % 10, 1 + i % 9)),
+                ]
+            })
+            .collect(),
+    ));
+    db
+}
+
+prop_compose! {
+    fn arb_demo_sql()(
+        cols in prop::sample::subsequence(vec!["name", "price", "qty", "added"], 1..=3),
+        agg in prop::option::of(prop::sample::select(vec!["AVG", "SUM", "MAX", "MIN", "COUNT"])),
+        filter_val in 0i64..90,
+        use_filter in any::<bool>(),
+        group in any::<bool>(),
+        order in prop::option::of(any::<bool>()),
+        limit in prop::option::of(1u64..10),
+    ) -> String {
+        let mut select: Vec<String> = cols.iter().map(|c| c.to_string()).collect();
+        if let Some(a) = agg {
+            select.push(if a == "COUNT" { "COUNT(*)".into() } else { format!("{a}(price)") });
+        }
+        let mut sql = format!("SELECT {} FROM items", select.join(", "));
+        if use_filter {
+            sql.push_str(&format!(" WHERE price > {filter_val}"));
+        }
+        if group && cols.contains(&"name") {
+            sql.push_str(" GROUP BY name");
+        }
+        if let Some(desc) = order {
+            sql.push_str(&format!(" ORDER BY price {}", if desc { "DESC" } else { "ASC" }));
+        }
+        if let Some(k) = limit {
+            if order.is_some() {
+                sql.push_str(&format!(" LIMIT {k}"));
+            }
+        }
+        sql
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// SQL → AST → SQL → AST is stable, and the query executes.
+    #[test]
+    fn sql_round_trips_and_executes(sql in arb_demo_sql()) {
+        let db = demo_db();
+        let ast1 = parse_sql(&db, &sql)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        let rendered = to_sql(&ast1);
+        let ast2 = parse_sql(&db, &rendered)
+            .unwrap_or_else(|e| panic!("{rendered}: {e}"));
+        prop_assert_eq!(&ast1, &ast2, "{} → {}", sql, rendered);
+        let rs = nvbench::data::execute(&db, &ast1)
+            .unwrap_or_else(|e| panic!("{sql}: {e}"));
+        // Executor sanity: output arity equals the select arity.
+        prop_assert_eq!(rs.columns.len(), ast1.query.primary().select.len());
+    }
+
+    /// BLEU stays in [0, 1] and is 1 for identical sentences.
+    #[test]
+    fn bleu_bounds(words in prop::collection::vec("[a-z]{1,6}", 1..15)) {
+        let refs: Vec<&str> = words.iter().map(String::as_str).collect();
+        let b = nvbench::stats::sentence_bleu(&refs, &refs, 4);
+        prop_assert!((b - 1.0).abs() < 1e-6);
+        let other: Vec<&str> = vec!["zzz"; words.len()];
+        let b2 = nvbench::stats::sentence_bleu(&refs, &other, 4);
+        prop_assert!((0.0..=1.0).contains(&b2));
+    }
+
+    /// Summary statistics respect their definitional bounds.
+    #[test]
+    fn summary_bounds(values in prop::collection::vec(-1e6f64..1e6f64, 1..200)) {
+        let s = nvbench::stats::Summary::of(&values).unwrap();
+        prop_assert!(s.min <= s.q1 + 1e-9);
+        prop_assert!(s.q1 <= s.median + 1e-9);
+        prop_assert!(s.median <= s.q3 + 1e-9);
+        prop_assert!(s.q3 <= s.max + 1e-9);
+        prop_assert!(s.min <= s.mean && s.mean <= s.max);
+        let f = nvbench::stats::outlier_fraction(&values);
+        prop_assert!((0.0..=1.0).contains(&f));
+    }
+
+    /// The executor's set operations obey set algebra on a shared column.
+    #[test]
+    fn set_ops_obey_algebra(threshold in 0i64..90) {
+        let db = demo_db();
+        let run = |sql: &str| {
+            let ast = parse_sql(&db, sql).unwrap();
+            nvbench::data::execute(&db, &ast).unwrap().rows.len()
+        };
+        let union = run(&format!(
+            "SELECT name FROM items WHERE price > {threshold} UNION SELECT name FROM items WHERE price <= {threshold}"
+        ));
+        let all = run("SELECT DISTINCT name FROM items");
+        prop_assert_eq!(union, all);
+        let inter = run(&format!(
+            "SELECT name FROM items WHERE price > {threshold} INTERSECT SELECT name FROM items WHERE price <= {threshold}"
+        ));
+        let except = run(&format!(
+            "SELECT name FROM items WHERE price > {threshold} EXCEPT SELECT name FROM items WHERE price <= {threshold}"
+        ));
+        let left = run(&format!("SELECT DISTINCT name FROM items WHERE price > {threshold}"));
+        prop_assert_eq!(inter + except, left);
+    }
+}
