@@ -1,0 +1,112 @@
+//! exp_scale — corpus-synthesis throughput.
+//!
+//! Measures the sequential uncached oracle against the cached engine
+//! (1 thread) and the parallel cached engine (4 threads) on a 48-pair
+//! corpus, asserts the outputs are identical, and records pairs/sec plus
+//! the speedup into `BENCH_synth.json` at the repo root.
+//!
+//! Set `NV_EXP_SCALE_QUICK=1` to cut repetitions (used by
+//! `scripts/bench_smoke.sh`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvbench::core::{Nl2SqlToNl2Vis, SynthesizerConfig};
+use nvbench::spider::{CorpusConfig, SpiderCorpus};
+use std::time::Instant;
+
+const THREADS: usize = 4;
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+fn time_runs(reps: usize, mut f: impl FnMut()) -> f64 {
+    // One untimed warm-up, then the median of `reps` runs.
+    f();
+    median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                f();
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("NV_EXP_SCALE_QUICK").is_ok();
+    let reps = if quick { 3 } else { 7 };
+
+    let corpus = SpiderCorpus::generate(&CorpusConfig::small(32));
+    let n_pairs = corpus.pairs.len();
+    let sequential = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
+    let cached1 = Nl2SqlToNl2Vis::new(SynthesizerConfig { threads: 1, ..Default::default() });
+    let parallel =
+        Nl2SqlToNl2Vis::new(SynthesizerConfig { threads: THREADS, ..Default::default() });
+
+    // Correctness first: the engine under measurement must reproduce the
+    // oracle exactly.
+    let oracle = sequential.synthesize_corpus_sequential(&corpus);
+    let fast = parallel.synthesize_corpus(&corpus);
+    assert_eq!(oracle.pairs, fast.pairs, "parallel output diverged from the oracle");
+    assert_eq!(oracle.vis_objects.len(), fast.vis_objects.len());
+
+    let t_seq = time_runs(reps, || {
+        black_box(sequential.synthesize_corpus_sequential(&corpus));
+    });
+    let t_cached = time_runs(reps, || {
+        black_box(cached1.synthesize_corpus(&corpus));
+    });
+    let t_par = time_runs(reps, || {
+        black_box(parallel.synthesize_corpus(&corpus));
+    });
+
+    let pairs_per_sec = |t: f64| n_pairs as f64 / t;
+    let speedup = t_seq / t_par;
+    let report = serde_json::json!({
+        "benchmark": "exp_scale",
+        "corpus": { "databases": corpus.databases.len(), "nl_sql_pairs": n_pairs },
+        "reps": reps,
+        "threads": THREADS,
+        "sequential_uncached": {
+            "secs": t_seq,
+            "pairs_per_sec": pairs_per_sec(t_seq),
+        },
+        "cached_1_thread": {
+            "secs": t_cached,
+            "pairs_per_sec": pairs_per_sec(t_cached),
+            "speedup_vs_sequential": t_seq / t_cached,
+        },
+        "parallel_cached": {
+            "secs": t_par,
+            "pairs_per_sec": pairs_per_sec(t_par),
+            "speedup_vs_sequential": speedup,
+        },
+        "outputs_identical": true,
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_synth.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_synth.json");
+
+    println!(
+        "exp_scale: {n_pairs} pairs | sequential {:.1} pairs/s | cached(1t) {:.1} pairs/s \
+         | parallel({THREADS}t) {:.1} pairs/s | speedup {speedup:.2}x → {path}",
+        pairs_per_sec(t_seq),
+        pairs_per_sec(t_cached),
+        pairs_per_sec(t_par),
+    );
+
+    let mut g = c.benchmark_group("scale");
+    g.sample_size(if quick { 2 } else { 5 });
+    g.bench_function("synthesize_sequential", |b| {
+        b.iter(|| sequential.synthesize_corpus_sequential(&corpus))
+    });
+    g.bench_function("synthesize_parallel4", |b| {
+        b.iter(|| parallel.synthesize_corpus(&corpus))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

@@ -2,23 +2,34 @@
 //! combined report (tee it into EXPERIMENTS-style records):
 //!
 //! ```text
-//! cargo run -p nv-bench --release --bin reproduce            # everything
-//! cargo run -p nv-bench --release --bin reproduce -- quick   # quick scale
-//! cargo run -p nv-bench --release --bin reproduce -- data    # skip training
+//! cargo run -p nv-bench --release --bin reproduce              # everything
+//! cargo run -p nv-bench --release --bin reproduce -- quick     # quick scale
+//! cargo run -p nv-bench --release --bin reproduce -- data      # skip training
+//! cargo run -p nv-bench --release --bin reproduce -- threads=4 # parallel synthesis
 //! ```
+//!
+//! `threads=N` runs corpus synthesis on N worker threads (default: all
+//! available cores). The synthesized benchmark is bit-identical for any N.
 
 use nv_bench::experiments::*;
-use nv_bench::{context, Scale};
+use nv_bench::{Context, Scale};
+use nvbench::core::SynthesizerConfig;
 use std::time::Instant;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let scale = if args.iter().any(|a| a == "quick") { Scale::Quick } else { Scale::Full };
     let data_only = args.iter().any(|a| a == "data");
+    let threads = args
+        .iter()
+        .find_map(|a| a.strip_prefix("threads=").and_then(|n| n.parse().ok()))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        });
 
     let t0 = Instant::now();
-    println!("=== nvBench reproduction — scale {scale:?} ===\n");
-    let ctx = context(scale);
+    println!("=== nvBench reproduction — scale {scale:?}, {threads} synthesis thread(s) ===\n");
+    let ctx = &Context::build_with(scale, SynthesizerConfig { threads, ..Default::default() });
     println!(
         "[setup] corpus: {} databases, {} (nl,sql) pairs → benchmark: {} vis, {} (nl,vis) pairs ({:.1}s)\n",
         ctx.corpus.databases.len(),

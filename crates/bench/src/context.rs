@@ -79,6 +79,13 @@ pub struct Context {
 
 impl Context {
     pub fn build(scale: Scale) -> Context {
+        Context::build_with(scale, SynthesizerConfig::default())
+    }
+
+    /// Build with an explicit synthesizer configuration (e.g. `threads` for
+    /// parallel corpus synthesis — the benchmark content is identical for
+    /// any thread count, only wall-clock changes).
+    pub fn build_with(scale: Scale, cfg: SynthesizerConfig) -> Context {
         let mut corpus = SpiderCorpus::generate(&scale.corpus_config());
         // The §4.6 COVID-19 case study needs the covid schema in the training
         // distribution (the paper's model also saw it); append the covid
@@ -96,7 +103,7 @@ impl Context {
         corpus.pairs.extend(qg.generate(corpus.pairs.len()));
         corpus.databases.push(covid);
 
-        let synth = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
+        let synth = Nl2SqlToNl2Vis::new(cfg);
         let bench = synth.synthesize_corpus(&corpus);
         let split = bench.split(42);
         Context { corpus, bench, split }

@@ -37,6 +37,7 @@
 pub mod benchmark;
 pub mod cost;
 pub mod io;
+pub mod par;
 pub mod pipeline;
 pub mod predictor;
 pub mod stats;

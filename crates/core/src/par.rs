@@ -1,0 +1,149 @@
+//! A minimal deterministic work-queue thread pool (no dependencies).
+//!
+//! [`map_ordered`] fans a function over a slice from a shared atomic work
+//! queue and returns the results **in input order**, so callers observe
+//! exactly what a sequential `iter().map()` would have produced no matter
+//! how the OS schedules the workers. Each worker owns a private state value
+//! (built by `init`) that lives for the whole run — the synthesizer uses it
+//! to hold per-database execution caches.
+//!
+//! Design notes:
+//! * scheduling is a single `AtomicUsize` fetch-add — workers race for the
+//!   next index, which balances uneven per-item cost better than static
+//!   chunking (synthesis cost varies wildly with SQL complexity);
+//! * results flow back over an `mpsc` channel tagged with their index and
+//!   are written into a pre-sized slot vector, so the merge is O(n) and
+//!   allocation-free;
+//! * `std::thread::scope` lets workers borrow the input slice and the
+//!   closures directly — no `Arc`, no `'static` bounds.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Apply `work` to every item of `items` using up to `threads` workers,
+/// returning results in input order.
+///
+/// `init` runs once per worker to build its private mutable state; `work`
+/// receives that state plus the item's index. With `threads <= 1` (or one
+/// item) everything runs inline on the caller's thread — same code path,
+/// no pool.
+pub fn map_ordered<T, R, S, I, F>(items: &[T], threads: usize, init: I, work: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut state = init();
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| work(&mut state, i, item))
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, init, work) = (&next, &init, &work);
+            scope.spawn(move || {
+                let mut state = init();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let r = work(&mut state, i, &items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        // The workers hold the remaining senders; dropping ours lets `rx`
+        // close once they all finish.
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index is processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<u64> = (0..100).collect();
+        let out = map_ordered(&items, 4, || (), |_, i, x| (i, x * 3));
+        for (i, (idx, v)) in out.iter().enumerate() {
+            assert_eq!(*idx, i);
+            assert_eq!(*v, items[i] * 3);
+        }
+    }
+
+    #[test]
+    fn matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..57).collect();
+        let seq = map_ordered(&items, 1, || (), |_, i, x| x.wrapping_mul(i as u64 + 7));
+        for threads in [2, 3, 4, 8, 64] {
+            let par = map_ordered(&items, threads, || (), |_, i, x| {
+                x.wrapping_mul(i as u64 + 7)
+            });
+            assert_eq!(seq, par, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn per_worker_state_is_private_and_reused() {
+        // Each worker counts its own items; the counts must total the input
+        // and every worker that ran processed at least one item.
+        let items: Vec<u32> = (0..40).collect();
+        let inits = AtomicUsize::new(0);
+        let out = map_ordered(
+            &items,
+            4,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                0usize
+            },
+            |seen, _, _| {
+                *seen += 1;
+                *seen
+            },
+        );
+        assert!(out.iter().all(|&c| c >= 1 && c <= items.len()));
+        let workers = inits.load(Ordering::Relaxed);
+        assert!((1..=4).contains(&workers), "{workers} workers");
+    }
+
+    #[test]
+    fn empty_and_oversized() {
+        let none: Vec<u8> = vec![];
+        assert!(map_ordered(&none, 8, || (), |_, _, x| *x).is_empty());
+        let one = [5u8];
+        assert_eq!(map_ordered(&one, 8, || (), |_, _, x| *x), vec![5]);
+    }
+
+    #[test]
+    fn borrows_captured_environment() {
+        let base = vec![10u64, 20, 30];
+        let items = [0usize, 1, 2, 1];
+        let out = map_ordered(&items, 2, || (), |_, _, &i| base[i]);
+        assert_eq!(out, vec![10, 20, 30, 20]);
+    }
+}

@@ -9,13 +9,17 @@
 //! benchmark with global vis deduplication.
 
 use crate::benchmark::{NlVisPair, NvBench, VisObject};
+use crate::par;
 use nv_ast::Hardness;
-use nv_data::Database;
+use nv_data::{Database, ExecCache};
 use nv_quality::DeepEyeFilter;
 use nv_spider::SpiderCorpus;
 use nv_sql::{parse_sql, SqlError};
-use nv_synth::{filter_candidates, generate_candidates, FilterStats, GoodVis, NlSynthesizer};
-use std::collections::HashSet;
+use nv_synth::{
+    filter_candidates, filter_candidates_cached, generate_candidates, FilterStats, GoodVis,
+    NlSynthesizer,
+};
+use std::collections::{HashMap, HashSet};
 
 /// Pipeline configuration.
 #[derive(Debug, Clone)]
@@ -25,11 +29,15 @@ pub struct SynthesizerConfig {
     /// filter score (the paper nets ~0.7 vis per Spider pair after
     /// filtering; the cap keeps candidate-rich pairs from dominating).
     pub max_vis_per_pair: usize,
+    /// Worker threads for corpus synthesis (1 = run on the caller's
+    /// thread). Output is bit-identical for any value: pairs are merged in
+    /// input order and all randomness is seeded per pair.
+    pub threads: usize,
 }
 
 impl Default for SynthesizerConfig {
     fn default() -> Self {
-        SynthesizerConfig { seed: 42, max_vis_per_pair: 3 }
+        SynthesizerConfig { seed: 42, max_vis_per_pair: 3, threads: 1 }
     }
 }
 
@@ -84,20 +92,50 @@ impl Nl2SqlToNl2Vis {
         sql: &str,
         nl_seed: u64,
     ) -> Result<PairSynthesis, PipelineError> {
+        self.synthesize_pair_impl(db, nl, sql, nl_seed, None)
+    }
+
+    /// [`synthesize_pair`](Self::synthesize_pair) executing candidates
+    /// through a per-database [`ExecCache`]; identical output, shared scan
+    /// work across the pair's candidates (and across pairs on the same
+    /// database when the cache is reused).
+    pub fn synthesize_pair_cached(
+        &self,
+        db: &Database,
+        nl: &str,
+        sql: &str,
+        nl_seed: u64,
+        cache: &mut ExecCache,
+    ) -> Result<PairSynthesis, PipelineError> {
+        self.synthesize_pair_impl(db, nl, sql, nl_seed, Some(cache))
+    }
+
+    fn synthesize_pair_impl(
+        &self,
+        db: &Database,
+        nl: &str,
+        sql: &str,
+        nl_seed: u64,
+        cache: Option<&mut ExecCache>,
+    ) -> Result<PairSynthesis, PipelineError> {
         let sql_tree = parse_sql(db, sql)?;
         let candidates = generate_candidates(db, &sql_tree);
-        let (mut good, filter_stats) = filter_candidates(db, candidates, &self.filter);
+        let (good, filter_stats) = match cache {
+            Some(c) => filter_candidates_cached(db, candidates, &self.filter, c),
+            None => filter_candidates(db, candidates, &self.filter),
+        };
 
-        // Rank survivors by filter score, with a bonus for deletion-free
-        // edits (their NL needs no manual revision — the paper's synthesizer
-        // keeps manual work at ~25% of vis objects) — then select with
-        // chart-type diversity: the best chart of each distinct type first,
-        // remaining slots by score.
+        // Rank survivors by filter score (carried from the filtering pass,
+        // not recomputed), with a bonus for deletion-free edits (their NL
+        // needs no manual revision — the paper's synthesizer keeps manual
+        // work at ~25% of vis objects) — then select with chart-type
+        // diversity: the best chart of each distinct type first, remaining
+        // slots by score.
         let mut scored: Vec<(f64, GoodVis)> = good
             .into_iter()
             .map(|g| {
-                let rank = self.filter.score(&g.data)
-                    + if g.candidate.edit.deletion_count() == 0 { 0.5 } else { 0.0 };
+                let rank =
+                    g.score + if g.candidate.edit.deletion_count() == 0 { 0.5 } else { 0.0 };
                 (rank, g)
             })
             .collect();
@@ -142,17 +180,52 @@ impl Nl2SqlToNl2Vis {
 
     /// Drive the pipeline over a whole corpus, assembling the benchmark with
     /// global (db, VQL) deduplication of vis objects.
+    ///
+    /// Pairs are synthesized by `cfg.threads` workers pulling from a shared
+    /// work queue, each holding one [`ExecCache`] per database it touches;
+    /// results are merged in input order, so the benchmark — vis ids, pair
+    /// ids, dedup outcomes, NL variants — is bit-identical to
+    /// [`synthesize_corpus_sequential`](Self::synthesize_corpus_sequential)
+    /// for any thread count.
     pub fn synthesize_corpus(&self, corpus: &SpiderCorpus) -> NvBench {
+        let results = par::map_ordered(
+            &corpus.pairs,
+            self.cfg.threads,
+            HashMap::<String, ExecCache>::new,
+            |caches, _i, pair| {
+                let db = corpus.database(&pair.db_name)?;
+                let cache = caches.entry(pair.db_name.clone()).or_default();
+                self.synthesize_pair_cached(db, &pair.nl, &pair.sql, pair.id as u64, cache)
+                    .ok()
+            },
+        );
+        self.assemble(corpus, results)
+    }
+
+    /// The single-threaded, uncached reference path — the oracle the
+    /// parallel engine is tested against.
+    pub fn synthesize_corpus_sequential(&self, corpus: &SpiderCorpus) -> NvBench {
+        let results = corpus
+            .pairs
+            .iter()
+            .map(|pair| {
+                let db = corpus.database(&pair.db_name)?;
+                self.synthesize_pair(db, &pair.nl, &pair.sql, pair.id as u64).ok()
+            })
+            .collect();
+        self.assemble(corpus, results)
+    }
+
+    /// Merge per-pair results (in corpus order) into the benchmark with
+    /// global (db, VQL) deduplication — shared by the sequential and
+    /// parallel drivers so they cannot drift apart.
+    fn assemble(&self, corpus: &SpiderCorpus, results: Vec<Option<PairSynthesis>>) -> NvBench {
         let mut vis_objects: Vec<VisObject> = Vec::new();
         let mut pairs: Vec<NlVisPair> = Vec::new();
         let mut seen: HashSet<(String, String)> = HashSet::new();
 
-        for pair in &corpus.pairs {
-            let Some(db) = corpus.database(&pair.db_name) else { continue };
-            let Ok(result) = self.synthesize_pair(db, &pair.nl, &pair.sql, pair.id as u64)
-            else {
-                continue;
-            };
+        for (pair, result) in corpus.pairs.iter().zip(results) {
+            let Some(result) = result else { continue };
             for (good, variants, needed_manual) in result.outputs {
                 let vql = good.candidate.tree.to_vql();
                 if !seen.insert((pair.db_name.clone(), vql.clone())) {
@@ -282,5 +355,72 @@ mod tests {
         let b = s.synthesize_corpus(&corpus);
         assert_eq!(a.pairs, b.pairs);
         assert_eq!(a.vis_objects.len(), b.vis_objects.len());
+    }
+
+    /// The tentpole guarantee: the parallel + cached engine reproduces the
+    /// sequential uncached oracle pair-for-pair and vis-for-vis.
+    #[test]
+    fn parallel_matches_sequential_oracle() {
+        let corpus = SpiderCorpus::generate(&CorpusConfig::small(8));
+        let oracle = Nl2SqlToNl2Vis::new(SynthesizerConfig::default())
+            .synthesize_corpus_sequential(&corpus);
+        for threads in [1, 4] {
+            let cfg = SynthesizerConfig { threads, ..Default::default() };
+            let got = Nl2SqlToNl2Vis::new(cfg).synthesize_corpus(&corpus);
+            assert_eq!(got.pairs, oracle.pairs, "threads={threads}");
+            assert_eq!(got.vis_objects.len(), oracle.vis_objects.len());
+            for (a, b) in got.vis_objects.iter().zip(&oracle.vis_objects) {
+                assert_eq!(a.vis_id, b.vis_id);
+                assert_eq!(a.db_name, b.db_name);
+                assert_eq!(a.source_pair_id, b.source_pair_id);
+                assert_eq!(a.vql, b.vql);
+                assert_eq!(a.chart, b.chart);
+                assert_eq!(a.hardness, b.hardness);
+                assert_eq!(a.needed_manual_nl, b.needed_manual_nl);
+            }
+        }
+    }
+
+    /// Cached pair synthesis is output-identical to the plain path.
+    #[test]
+    fn cached_pair_matches_uncached() {
+        let s = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
+        let d = db();
+        let plain = s
+            .synthesize_pair(
+                &d,
+                "What is the average gpa for each major?",
+                "SELECT major, AVG(gpa) FROM student GROUP BY major",
+                1,
+            )
+            .unwrap();
+        let mut cache = ExecCache::new();
+        let cached = s
+            .synthesize_pair_cached(
+                &d,
+                "What is the average gpa for each major?",
+                "SELECT major, AVG(gpa) FROM student GROUP BY major",
+                1,
+                &mut cache,
+            )
+            .unwrap();
+        assert_eq!(plain.filter_stats, cached.filter_stats);
+        assert_eq!(plain.outputs.len(), cached.outputs.len());
+        for ((ga, va, ma), (gb, vb, mb)) in plain.outputs.iter().zip(&cached.outputs) {
+            assert_eq!(ga.candidate.tree.to_vql(), gb.candidate.tree.to_vql());
+            assert_eq!(ga.score, gb.score);
+            assert_eq!(va, vb);
+            assert_eq!(ma, mb);
+        }
+        assert!(cache.stats.hits() + cache.stats.misses() > 0);
+    }
+
+    /// The parallel driver requires these to cross threads by reference.
+    #[test]
+    fn synthesis_types_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<SpiderCorpus>();
+        assert_sync::<Nl2SqlToNl2Vis>();
+        assert_sync::<Database>();
     }
 }

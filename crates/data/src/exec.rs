@@ -11,12 +11,33 @@
 //! The executor powers three things downstream: chart-data rendering
 //! (`nv-render`), "result matching accuracy" for seq2vis, and DeepEye
 //! feature extraction (`nv-quality`).
+//!
+//! ## Execution caching
+//!
+//! Synthesis executes dozens of candidate VIS queries per (NL, SQL) pair,
+//! and the candidates overwhelmingly share their FROM/JOIN/WHERE fragment
+//! (they vary the projection, grouping, and binning on top of one scan).
+//! [`ExecCache`] exploits that: it memoizes, per database,
+//!
+//! 1. **scans** — the joined + WHERE-filtered row set, keyed by the
+//!    canonical form of `(FROM, JOINs, WHERE)`;
+//! 2. **groups** — grouped/binned row-index partitions over a cached scan,
+//!    keyed by scan key plus the group/bin spec;
+//! 3. **subquery results** — full result sets of predicate subqueries,
+//!    keyed by the canonical sub-tree (this also lifts subquery execution
+//!    out of the per-row predicate loop).
+//!
+//! Cached data is shared via `Arc` and never mutated, so
+//! [`execute_with_cache`] is bit-identical to [`execute`] — the cache is a
+//! pure performance layer. A cache is bound to the first database it sees
+//! and refuses reuse against another.
 
 use crate::schema::ColumnType;
 use crate::table::Database;
 use crate::value::Value;
 use nv_ast::*;
 use std::collections::{HashMap, HashSet};
+use std::sync::Arc;
 
 /// Errors raised during execution.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -83,32 +104,511 @@ fn norm_value(v: &Value) -> String {
     }
 }
 
-/// Execute a query against a database, ignoring any `Visualize` node.
-pub fn execute(db: &Database, q: &VisQuery) -> Result<ResultSet, ExecError> {
-    execute_set(db, &q.query)
+// ---- execution cache -----------------------------------------------------
+
+/// Hit/miss counters per cache layer; exposed for benchmarks and tuning.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub scan_hits: u64,
+    pub scan_misses: u64,
+    pub group_hits: u64,
+    pub group_misses: u64,
+    pub result_hits: u64,
+    pub result_misses: u64,
 }
 
-fn execute_set(db: &Database, q: &SetQuery) -> Result<ResultSet, ExecError> {
-    match q {
-        SetQuery::Simple(b) => execute_body(db, b),
-        SetQuery::Compound { op, left, right } => {
-            let l = execute_body(db, left)?;
-            let r = execute_body(db, right)?;
-            if l.columns.len() != r.columns.len() {
-                return Err(ExecError::ArityMismatch {
-                    left: l.columns.len(),
-                    right: r.columns.len(),
-                });
+impl CacheStats {
+    pub fn hits(&self) -> u64 {
+        self.scan_hits + self.group_hits + self.result_hits
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.scan_misses + self.group_misses + self.result_misses
+    }
+}
+
+/// Per-database memo of scans, groupings, and subquery results (see the
+/// module docs). Purely additive: results through a cache are identical to
+/// uncached execution.
+#[derive(Debug, Default)]
+pub struct ExecCache {
+    /// Name of the database this cache is bound to (set on first use).
+    db_name: Option<String>,
+    scans: HashMap<String, Arc<ScanData>>,
+    groups: HashMap<String, Arc<Vec<GroupEntry>>>,
+    results: HashMap<String, Arc<ResultSet>>,
+    pub stats: CacheStats,
+}
+
+impl ExecCache {
+    pub fn new() -> ExecCache {
+        ExecCache::default()
+    }
+
+    /// Number of memoized entries across all layers.
+    pub fn len(&self) -> usize {
+        self.scans.len() + self.groups.len() + self.results.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop all cached data (e.g. after mutating the database) but keep the
+    /// database binding and stats.
+    pub fn clear(&mut self) {
+        self.scans.clear();
+        self.groups.clear();
+        self.results.clear();
+    }
+
+    fn bind(&mut self, db: &Database) {
+        match &self.db_name {
+            None => self.db_name = Some(db.name.clone()),
+            Some(bound) => assert_eq!(
+                bound, &db.name,
+                "ExecCache is bound to database '{bound}' but was used with '{}'",
+                db.name
+            ),
+        }
+    }
+}
+
+/// A materialized joined + WHERE-filtered relation, shared across queries.
+#[derive(Debug)]
+struct ScanData {
+    cols: Vec<String>,
+    types: Vec<ColumnType>,
+    rows: Vec<Vec<Value>>,
+}
+
+/// One group of a grouped scan: its key values, display label (for binned
+/// groups), and member row indices into the scan.
+#[derive(Debug)]
+struct GroupEntry {
+    key: Vec<Value>,
+    label: Value,
+    rows: Vec<usize>,
+}
+
+/// Execute a query against a database, ignoring any `Visualize` node.
+pub fn execute(db: &Database, q: &VisQuery) -> Result<ResultSet, ExecError> {
+    Exec { cache: None }.set(db, &q.query)
+}
+
+/// Execute through a per-database [`ExecCache`]. Output is bit-identical to
+/// [`execute`]; repeated FROM/WHERE/GROUP fragments and subqueries are
+/// computed once.
+pub fn execute_with_cache(
+    db: &Database,
+    q: &VisQuery,
+    cache: &mut ExecCache,
+) -> Result<ResultSet, ExecError> {
+    cache.bind(db);
+    Exec { cache: Some(cache) }.set(db, &q.query)
+}
+
+/// The execution driver: carries the optional cache through the recursion.
+struct Exec<'c> {
+    cache: Option<&'c mut ExecCache>,
+}
+
+impl Exec<'_> {
+    fn set(&mut self, db: &Database, q: &SetQuery) -> Result<ResultSet, ExecError> {
+        match q {
+            SetQuery::Simple(b) => self.body(db, b),
+            SetQuery::Compound { op, left, right } => {
+                let l = self.body(db, left)?;
+                let r = self.body(db, right)?;
+                if l.columns.len() != r.columns.len() {
+                    return Err(ExecError::ArityMismatch {
+                        left: l.columns.len(),
+                        right: r.columns.len(),
+                    });
+                }
+                // Move both row sets into hash sets — set semantics without
+                // cloning a single row.
+                let lset: HashSet<Vec<Value>> = l.rows.into_iter().collect();
+                let rset: HashSet<Vec<Value>> = r.rows.into_iter().collect();
+                let mut rows: Vec<Vec<Value>> = match op {
+                    SetOp::Intersect => {
+                        lset.into_iter().filter(|row| rset.contains(row)).collect()
+                    }
+                    SetOp::Except => {
+                        lset.into_iter().filter(|row| !rset.contains(row)).collect()
+                    }
+                    SetOp::Union => {
+                        let mut u = lset;
+                        u.extend(rset);
+                        u.into_iter().collect()
+                    }
+                };
+                rows.sort_by(|a, b| cmp_rows(a, b));
+                Ok(ResultSet { columns: l.columns, types: l.types, rows })
             }
-            let lset: HashSet<Vec<Value>> = l.rows.iter().cloned().collect();
-            let rset: HashSet<Vec<Value>> = r.rows.iter().cloned().collect();
-            let mut rows: Vec<Vec<Value>> = match op {
-                SetOp::Intersect => lset.intersection(&rset).cloned().collect(),
-                SetOp::Union => lset.union(&rset).cloned().collect(),
-                SetOp::Except => lset.difference(&rset).cloned().collect(),
+        }
+    }
+
+    /// Build (or fetch) the joined + WHERE-filtered scan for a body.
+    fn scan(
+        &mut self,
+        db: &Database,
+        body: &QueryBody,
+        where_p: &Option<Predicate>,
+    ) -> Result<(Arc<ScanData>, Option<String>), ExecError> {
+        let key = self
+            .cache
+            .is_some()
+            .then(|| format!("{:?}|{:?}|{:?}", body.from, body.joins, where_p));
+        if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.as_deref()) {
+            if let Some(s) = c.scans.get(k) {
+                c.stats.scan_hits += 1;
+                return Ok((Arc::clone(s), key));
+            }
+            c.stats.scan_misses += 1;
+        }
+        let rel = build_from(db, body)?;
+        let mut kept: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
+        for row in rel.rows.iter() {
+            let keep = match where_p {
+                Some(p) => self.eval_pred_row(db, &rel, row, p)?,
+                None => true,
             };
-            rows.sort_by(|a, b| cmp_rows(a, b));
-            Ok(ResultSet { columns: l.columns, types: l.types, rows })
+            if keep {
+                kept.push(row.clone());
+            }
+        }
+        let scan = Arc::new(ScanData { cols: rel.cols, types: rel.types, rows: kept });
+        if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.clone()) {
+            c.scans.insert(k, Arc::clone(&scan));
+        }
+        Ok((scan, key))
+    }
+
+    /// Build (or fetch) the group partition of a scan under the given keys
+    /// and bin spec.
+    fn groups(
+        &mut self,
+        scan: &Arc<ScanData>,
+        scan_key: Option<&str>,
+        key_cols: &[ColumnRef],
+        bin: &Option<BinSpec>,
+    ) -> Result<Arc<Vec<GroupEntry>>, ExecError> {
+        let key = match (self.cache.is_some(), scan_key) {
+            (true, Some(sk)) => Some(format!("{sk}#{key_cols:?}|{bin:?}")),
+            _ => None,
+        };
+        if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.as_deref()) {
+            if let Some(g) = c.groups.get(k) {
+                c.stats.group_hits += 1;
+                return Ok(Arc::clone(g));
+            }
+            c.stats.group_misses += 1;
+        }
+
+        let key_idx: Vec<usize> = key_cols
+            .iter()
+            .map(|c| col_idx(&scan.cols, c))
+            .collect::<Result<_, _>>()?;
+        let bin_info: Option<(usize, BinUnit, Option<NumericBins>)> = match bin {
+            Some(b) => {
+                let i = col_idx(&scan.cols, &b.col)?;
+                let numeric = match b.unit {
+                    BinUnit::Numeric { n_bins } => Some(NumericBins::from_values(
+                        scan.rows.iter().filter_map(|r| r[i].as_f64()),
+                        n_bins,
+                    )),
+                    _ => None,
+                };
+                Some((i, b.unit, numeric))
+            }
+            None => None,
+        };
+
+        // Group row indices by (bin ordinal, key values); each group keeps
+        // its bin label.
+        type GroupKey = (i64, Vec<Value>);
+        let mut map: HashMap<GroupKey, (Value, Vec<usize>)> = HashMap::new();
+        for (ri, row) in scan.rows.iter().enumerate() {
+            let (ord, label) = match &bin_info {
+                Some((i, unit, nb)) => bin_value(&row[*i], *unit, nb.as_ref()),
+                None => (0, Value::Null),
+            };
+            let kv: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
+            map.entry((ord, kv))
+                .or_insert_with(|| (label, Vec::new()))
+                .1
+                .push(ri);
+        }
+        // SQL semantics: a global aggregate (no grouping keys) over empty
+        // input still yields one row (COUNT(*) = 0, SUM/AVG = NULL).
+        if map.is_empty() && key_idx.is_empty() && bin_info.is_none() {
+            map.insert((0, vec![]), (Value::Null, vec![]));
+        }
+        let mut raw: Vec<(GroupKey, (Value, Vec<usize>))> = map.into_iter().collect();
+        raw.sort_by(|a, b| a.0 .0.cmp(&b.0 .0).then_with(|| cmp_rows(&a.0 .1, &b.0 .1)));
+        let entries: Vec<GroupEntry> = raw
+            .into_iter()
+            .map(|((_ord, key), (label, rows))| GroupEntry { key, label, rows })
+            .collect();
+
+        let entries = Arc::new(entries);
+        if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key) {
+            c.groups.insert(k, Arc::clone(&entries));
+        }
+        Ok(entries)
+    }
+
+    fn body(&mut self, db: &Database, body: &QueryBody) -> Result<ResultSet, ExecError> {
+        let (where_p, having_p) = match body.filter.clone() {
+            Some(p) => split_where_having(p),
+            None => (None, None),
+        };
+
+        let (scan, scan_key) = self.scan(db, body, &where_p)?;
+
+        // Grouping plan.
+        let explicit_group = body.group.clone().filter(|g| !g.is_empty());
+        let has_agg = body.select.iter().any(Attr::is_aggregated) || having_p.is_some();
+        let grouped = explicit_group.is_some() || has_agg;
+
+        let columns: Vec<String> = body.select.iter().map(attr_display).collect();
+        let types: Vec<ColumnType> = body
+            .select
+            .iter()
+            .map(|a| attr_out_type(&scan, a))
+            .collect();
+
+        let mut out_rows: Vec<(Vec<Value>, Option<Value>, Option<Value>)> = Vec::new();
+
+        if grouped {
+            // Key columns: explicit group-by + bin, or implicit (all bare
+            // select columns) when aggregates appear without GROUP BY.
+            let (key_cols, bin): (Vec<ColumnRef>, Option<BinSpec>) = match &explicit_group {
+                Some(g) => (g.group_by.clone(), g.bin.clone()),
+                None => (
+                    body.select
+                        .iter()
+                        .filter(|a| !a.is_aggregated())
+                        .map(|a| a.col.clone())
+                        .collect(),
+                    None,
+                ),
+            };
+            let entries = self.groups(&scan, scan_key.as_deref(), &key_cols, &bin)?;
+
+            let bin_col = bin.as_ref().map(|b| b.col.clone());
+            for entry in entries.iter() {
+                if let Some(h) = &having_p {
+                    if !self.eval_having(db, &scan, &entry.rows, h)? {
+                        continue;
+                    }
+                }
+                let mut out = Vec::with_capacity(body.select.len());
+                for a in &body.select {
+                    // The binned column projects its bin label.
+                    if a.agg == AggFunc::None && Some(&a.col) == bin_col.as_ref() {
+                        out.push(entry.label.clone());
+                        continue;
+                    }
+                    // Grouping keys project the key value directly.
+                    if a.agg == AggFunc::None {
+                        if let Some(pos) = key_cols.iter().position(|c| *c == a.col) {
+                            out.push(entry.key[pos].clone());
+                            continue;
+                        }
+                    }
+                    out.push(group_attr_value(&scan, &entry.rows, a)?);
+                }
+                let ord_v = match &body.order {
+                    Some(o) => Some(order_value(&scan, entry, &key_cols, &o.attr)?),
+                    None => None,
+                };
+                let sup_v = match &body.superlative {
+                    Some(s) => Some(order_value(&scan, entry, &key_cols, &s.attr)?),
+                    None => None,
+                };
+                out_rows.push((out, ord_v, sup_v));
+            }
+        } else {
+            let sel_idx: Vec<usize> = body
+                .select
+                .iter()
+                .map(|a| col_idx(&scan.cols, &a.col))
+                .collect::<Result<_, _>>()?;
+            let ord_idx = match &body.order {
+                Some(o) => Some(col_idx(&scan.cols, &o.attr.col)?),
+                None => None,
+            };
+            let sup_idx = match &body.superlative {
+                Some(s) => Some(col_idx(&scan.cols, &s.attr.col)?),
+                None => None,
+            };
+            for row in &scan.rows {
+                let out: Vec<Value> = sel_idx.iter().map(|&i| row[i].clone()).collect();
+                out_rows.push((
+                    out,
+                    ord_idx.map(|i| row[i].clone()),
+                    sup_idx.map(|i| row[i].clone()),
+                ));
+            }
+        }
+
+        // Superlative first (it defines its own ordering + limit)…
+        if let Some(s) = &body.superlative {
+            out_rows.sort_by(|a, b| {
+                let av = a.2.as_ref().unwrap_or(&Value::Null);
+                let bv = b.2.as_ref().unwrap_or(&Value::Null);
+                let c = av.total_cmp(bv);
+                match s.dir {
+                    SuperDir::Most => c.reverse(),
+                    SuperDir::Least => c,
+                }
+            });
+            out_rows.truncate(s.k as usize);
+        }
+        // …then ORDER BY re-sorts the (possibly truncated) output.
+        if let Some(o) = &body.order {
+            out_rows.sort_by(|a, b| {
+                let av = a.1.as_ref().unwrap_or(&Value::Null);
+                let bv = b.1.as_ref().unwrap_or(&Value::Null);
+                let c = av.total_cmp(bv);
+                match o.dir {
+                    OrderDir::Asc => c,
+                    OrderDir::Desc => c.reverse(),
+                }
+            });
+        }
+
+        Ok(ResultSet {
+            columns,
+            types,
+            rows: out_rows.into_iter().map(|(r, _, _)| r).collect(),
+        })
+    }
+
+    /// Literal operands become one value; lists become many; subqueries
+    /// execute (memoized when a cache is present) and contribute their
+    /// first column.
+    fn operand_values(&mut self, db: &Database, o: &Operand) -> Result<Vec<Value>, ExecError> {
+        match o {
+            Operand::Lit(l) => Ok(vec![Value::from_literal(l)]),
+            Operand::List(ls) => Ok(ls.iter().map(Value::from_literal).collect()),
+            Operand::Subquery(q) => {
+                let first_col = |rs: &ResultSet| -> Vec<Value> {
+                    rs.rows.iter().filter_map(|r| r.first().cloned()).collect()
+                };
+                if self.cache.is_none() {
+                    return Ok(first_col(&self.set(db, q)?));
+                }
+                let key = format!("{q:?}");
+                if let Some(c) = self.cache.as_deref_mut() {
+                    if let Some(rs) = c.results.get(&key) {
+                        c.stats.result_hits += 1;
+                        let rs = Arc::clone(rs);
+                        return Ok(first_col(&rs));
+                    }
+                    c.stats.result_misses += 1;
+                }
+                let rs = Arc::new(self.set(db, q)?);
+                if let Some(c) = self.cache.as_deref_mut() {
+                    c.results.insert(key, Arc::clone(&rs));
+                }
+                Ok(first_col(&rs))
+            }
+        }
+    }
+
+    fn eval_pred_row(
+        &mut self,
+        db: &Database,
+        rel: &Relation<'_>,
+        row: &[Value],
+        p: &Predicate,
+    ) -> Result<bool, ExecError> {
+        match p {
+            Predicate::And(l, r) => Ok(self.eval_pred_row(db, rel, row, l)?
+                && self.eval_pred_row(db, rel, row, r)?),
+            Predicate::Or(l, r) => Ok(self.eval_pred_row(db, rel, row, l)?
+                || self.eval_pred_row(db, rel, row, r)?),
+            Predicate::Cmp { op, attr, rhs } => {
+                let v = row_attr_value(rel, row, attr)?;
+                let rv = self.operand_values(db, rhs)?;
+                let Some(first) = rv.first() else { return Ok(false) };
+                Ok(cmp_values(&v, first, *op))
+            }
+            Predicate::Between { attr, low, high } => {
+                let v = row_attr_value(rel, row, attr)?;
+                let lo = self.operand_values(db, low)?;
+                let hi = self.operand_values(db, high)?;
+                match (lo.first(), hi.first()) {
+                    (Some(lo), Some(hi)) => {
+                        Ok(cmp_values(&v, lo, CmpOp::Ge) && cmp_values(&v, hi, CmpOp::Le))
+                    }
+                    _ => Ok(false),
+                }
+            }
+            Predicate::Like { attr, pattern, negated } => {
+                let v = row_attr_value(rel, row, attr)?;
+                if v.is_null() {
+                    return Ok(false);
+                }
+                let m = v.like(pattern);
+                Ok(m != *negated)
+            }
+            Predicate::In { attr, rhs, negated } => {
+                let v = row_attr_value(rel, row, attr)?;
+                if v.is_null() {
+                    return Ok(false);
+                }
+                let vals = self.operand_values(db, rhs)?;
+                let m = vals.iter().any(|x| v.sql_eq(x));
+                Ok(m != *negated)
+            }
+        }
+    }
+
+    fn eval_having(
+        &mut self,
+        db: &Database,
+        scan: &ScanData,
+        idxs: &[usize],
+        p: &Predicate,
+    ) -> Result<bool, ExecError> {
+        match p {
+            Predicate::And(l, r) => Ok(self.eval_having(db, scan, idxs, l)?
+                && self.eval_having(db, scan, idxs, r)?),
+            Predicate::Or(l, r) => Ok(self.eval_having(db, scan, idxs, l)?
+                || self.eval_having(db, scan, idxs, r)?),
+            Predicate::Cmp { op, attr, rhs } => {
+                let v = group_attr_value(scan, idxs, attr)?;
+                let rv = self.operand_values(db, rhs)?;
+                let Some(first) = rv.first() else { return Ok(false) };
+                Ok(cmp_values(&v, first, *op))
+            }
+            Predicate::Between { attr, low, high } => {
+                let v = group_attr_value(scan, idxs, attr)?;
+                let lo = self.operand_values(db, low)?;
+                let hi = self.operand_values(db, high)?;
+                match (lo.first(), hi.first()) {
+                    (Some(lo), Some(hi)) => {
+                        Ok(cmp_values(&v, lo, CmpOp::Ge) && cmp_values(&v, hi, CmpOp::Le))
+                    }
+                    _ => Ok(false),
+                }
+            }
+            Predicate::Like { attr, pattern, negated } => {
+                let v = group_attr_value(scan, idxs, attr)?;
+                Ok(!v.is_null() && (v.like(pattern) != *negated))
+            }
+            Predicate::In { attr, rhs, negated } => {
+                let v = group_attr_value(scan, idxs, attr)?;
+                if v.is_null() {
+                    return Ok(false);
+                }
+                let vals = self.operand_values(db, rhs)?;
+                Ok(vals.iter().any(|x| v.sql_eq(x)) != *negated)
+            }
         }
     }
 }
@@ -123,38 +623,59 @@ fn cmp_rows(a: &[Value], b: &[Value]) -> std::cmp::Ordering {
     std::cmp::Ordering::Equal
 }
 
-/// An intermediate relation with qualified column names.
-struct Relation {
-    cols: Vec<String>,
-    types: Vec<ColumnType>,
-    rows: Vec<Vec<Value>>,
+/// Rows of an intermediate relation: borrowed straight from the database's
+/// table storage when possible (single-table FROM — the common case), owned
+/// only when a join materializes new rows.
+enum Rows<'a> {
+    Borrowed(&'a [Vec<Value>]),
+    Owned(Vec<Vec<Value>>),
 }
 
-impl Relation {
-    /// Resolve a column reference: exact `table.column` match first, then a
-    /// unique unqualified match (lenient mode helps score model-predicted
-    /// trees whose table attribution is off).
-    fn col_idx(&self, c: &ColumnRef) -> Result<usize, ExecError> {
-        let want = format!("{}.{}", c.table, c.column).to_lowercase();
-        if let Some(i) = self.cols.iter().position(|n| n.to_lowercase() == want) {
-            return Ok(i);
-        }
-        let suffix = format!(".{}", c.column.to_lowercase());
-        let matches: Vec<usize> = self
-            .cols
-            .iter()
-            .enumerate()
-            .filter(|(_, n)| n.to_lowercase().ends_with(&suffix))
-            .map(|(i, _)| i)
-            .collect();
-        match matches.as_slice() {
-            [one] => Ok(*one),
-            _ => Err(ExecError::UnknownColumn(c.to_token())),
+impl std::ops::Deref for Rows<'_> {
+    type Target = [Vec<Value>];
+    fn deref(&self) -> &[Vec<Value>] {
+        match self {
+            Rows::Borrowed(r) => r,
+            Rows::Owned(r) => r,
         }
     }
 }
 
-fn load_table(db: &Database, name: &str) -> Result<Relation, ExecError> {
+/// An intermediate relation with qualified column names.
+struct Relation<'a> {
+    cols: Vec<String>,
+    types: Vec<ColumnType>,
+    rows: Rows<'a>,
+}
+
+/// Resolve a column reference: exact `table.column` match first, then a
+/// unique unqualified match (lenient mode helps score model-predicted
+/// trees whose table attribution is off).
+fn col_idx(cols: &[String], c: &ColumnRef) -> Result<usize, ExecError> {
+    let want = format!("{}.{}", c.table, c.column).to_lowercase();
+    if let Some(i) = cols.iter().position(|n| n.to_lowercase() == want) {
+        return Ok(i);
+    }
+    let suffix = format!(".{}", c.column.to_lowercase());
+    let matches: Vec<usize> = cols
+        .iter()
+        .enumerate()
+        .filter(|(_, n)| n.to_lowercase().ends_with(&suffix))
+        .map(|(i, _)| i)
+        .collect();
+    match matches.as_slice() {
+        [one] => Ok(*one),
+        _ => Err(ExecError::UnknownColumn(c.to_token())),
+    }
+}
+
+impl Relation<'_> {
+    fn col_idx(&self, c: &ColumnRef) -> Result<usize, ExecError> {
+        col_idx(&self.cols, c)
+    }
+}
+
+fn load_table<'a>(db: &'a Database, name: &str) -> Result<Relation<'a>, ExecError> {
     let t = db
         .table(name)
         .ok_or_else(|| ExecError::UnknownTable(name.to_string()))?;
@@ -166,11 +687,12 @@ fn load_table(db: &Database, name: &str) -> Result<Relation, ExecError> {
             .map(|c| format!("{}.{}", t.name(), c.name))
             .collect(),
         types: t.schema.columns.iter().map(|c| c.ctype).collect(),
-        rows: t.rows.clone(),
+        // Borrow the table's storage — scans never mutate rows.
+        rows: Rows::Borrowed(&t.rows),
     })
 }
 
-fn build_from(db: &Database, body: &QueryBody) -> Result<Relation, ExecError> {
+fn build_from<'a>(db: &'a Database, body: &QueryBody) -> Result<Relation<'a>, ExecError> {
     let first = body
         .from
         .first()
@@ -208,28 +730,28 @@ fn build_from(db: &Database, body: &QueryBody) -> Result<Relation, ExecError> {
     Ok(rel)
 }
 
-fn cross_join(l: Relation, r: Relation) -> Relation {
+fn cross_join<'a>(l: Relation<'a>, r: Relation<'a>) -> Relation<'a> {
     let mut cols = l.cols;
     cols.extend(r.cols);
     let mut types = l.types;
     types.extend(r.types);
     let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
-    for lr in &l.rows {
-        for rr in &r.rows {
+    for lr in l.rows.iter() {
+        for rr in r.rows.iter() {
             let mut row = lr.clone();
             row.extend(rr.iter().cloned());
             rows.push(row);
         }
     }
-    Relation { cols, types, rows }
+    Relation { cols, types, rows: Rows::Owned(rows) }
 }
 
-fn hash_join(
-    l: Relation,
-    r: Relation,
+fn hash_join<'a>(
+    l: Relation<'a>,
+    r: Relation<'a>,
     lkey: &ColumnRef,
     rkey: &ColumnRef,
-) -> Result<Relation, ExecError> {
+) -> Result<Relation<'a>, ExecError> {
     let li = l.col_idx(lkey)?;
     let ri = r.col_idx(rkey)?;
     let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
@@ -239,7 +761,7 @@ fn hash_join(
         }
     }
     let mut rows = Vec::new();
-    for lr in &l.rows {
+    for lr in l.rows.iter() {
         if let Some(matches) = index.get(&lr[li]) {
             for &m in matches {
                 let mut row = lr.clone();
@@ -248,11 +770,12 @@ fn hash_join(
             }
         }
     }
+    drop(index);
     let mut cols = l.cols;
     cols.extend(r.cols);
     let mut types = l.types;
     types.extend(r.types);
-    Ok(Relation { cols, types, rows })
+    Ok(Relation { cols, types, rows: Rows::Owned(rows) })
 }
 
 /// Does any leaf of the predicate reference an aggregated attribute?
@@ -292,56 +815,6 @@ fn split_where_having(p: Predicate) -> (Option<Predicate>, Option<Predicate>) {
     }
 }
 
-fn eval_pred_row(
-    db: &Database,
-    rel: &Relation,
-    row: &[Value],
-    p: &Predicate,
-) -> Result<bool, ExecError> {
-    match p {
-        Predicate::And(l, r) => {
-            Ok(eval_pred_row(db, rel, row, l)? && eval_pred_row(db, rel, row, r)?)
-        }
-        Predicate::Or(l, r) => {
-            Ok(eval_pred_row(db, rel, row, l)? || eval_pred_row(db, rel, row, r)?)
-        }
-        Predicate::Cmp { op, attr, rhs } => {
-            let v = row_attr_value(rel, row, attr)?;
-            let rv = operand_values(db, rhs)?;
-            let Some(first) = rv.first() else { return Ok(false) };
-            Ok(cmp_values(&v, first, *op))
-        }
-        Predicate::Between { attr, low, high } => {
-            let v = row_attr_value(rel, row, attr)?;
-            let lo = operand_values(db, low)?;
-            let hi = operand_values(db, high)?;
-            match (lo.first(), hi.first()) {
-                (Some(lo), Some(hi)) => {
-                    Ok(cmp_values(&v, lo, CmpOp::Ge) && cmp_values(&v, hi, CmpOp::Le))
-                }
-                _ => Ok(false),
-            }
-        }
-        Predicate::Like { attr, pattern, negated } => {
-            let v = row_attr_value(rel, row, attr)?;
-            if v.is_null() {
-                return Ok(false);
-            }
-            let m = v.like(pattern);
-            Ok(m != *negated)
-        }
-        Predicate::In { attr, rhs, negated } => {
-            let v = row_attr_value(rel, row, attr)?;
-            if v.is_null() {
-                return Ok(false);
-            }
-            let vals = operand_values(db, rhs)?;
-            let m = vals.iter().any(|x| v.sql_eq(x));
-            Ok(m != *negated)
-        }
-    }
-}
-
 fn cmp_values(a: &Value, b: &Value, op: CmpOp) -> bool {
     use std::cmp::Ordering::*;
     match a.sql_cmp(b) {
@@ -357,7 +830,7 @@ fn cmp_values(a: &Value, b: &Value, op: CmpOp) -> bool {
     }
 }
 
-fn row_attr_value(rel: &Relation, row: &[Value], attr: &Attr) -> Result<Value, ExecError> {
+fn row_attr_value(rel: &Relation<'_>, row: &[Value], attr: &Attr) -> Result<Value, ExecError> {
     if attr.is_aggregated() {
         return Err(ExecError::Unsupported(
             "aggregate in row-level predicate (belongs to HAVING)".into(),
@@ -365,19 +838,6 @@ fn row_attr_value(rel: &Relation, row: &[Value], attr: &Attr) -> Result<Value, E
     }
     let i = rel.col_idx(&attr.col)?;
     Ok(row[i].clone())
-}
-
-/// Literal operands become one value; lists become many; subqueries execute
-/// and contribute their first column.
-fn operand_values(db: &Database, o: &Operand) -> Result<Vec<Value>, ExecError> {
-    match o {
-        Operand::Lit(l) => Ok(vec![Value::from_literal(l)]),
-        Operand::List(ls) => Ok(ls.iter().map(Value::from_literal).collect()),
-        Operand::Subquery(q) => {
-            let rs = execute_set(db, q)?;
-            Ok(rs.rows.iter().filter_map(|r| r.first().cloned()).collect())
-        }
-    }
 }
 
 /// Binning context for numeric columns: equal-width buckets,
@@ -501,63 +961,14 @@ fn agg_over(agg: AggFunc, distinct: bool, vals: &[Value]) -> Value {
     }
 }
 
-/// Evaluate an attribute over a set of rows belonging to one group.
-fn group_attr_value(
-    rel: &Relation,
-    rows: &[&Vec<Value>],
-    attr: &Attr,
-) -> Result<Value, ExecError> {
+/// Evaluate an attribute over the rows (by index) belonging to one group.
+fn group_attr_value(scan: &ScanData, idxs: &[usize], attr: &Attr) -> Result<Value, ExecError> {
     if attr.agg == AggFunc::Count && attr.col.is_star() {
-        return Ok(Value::Int(rows.len() as i64));
+        return Ok(Value::Int(idxs.len() as i64));
     }
-    let idx = rel.col_idx(&attr.col)?;
-    let vals: Vec<Value> = rows.iter().map(|r| r[idx].clone()).collect();
+    let col = col_idx(&scan.cols, &attr.col)?;
+    let vals: Vec<Value> = idxs.iter().map(|&i| scan.rows[i][col].clone()).collect();
     Ok(agg_over(attr.agg, attr.distinct, &vals))
-}
-
-fn eval_having(
-    db: &Database,
-    rel: &Relation,
-    rows: &[&Vec<Value>],
-    p: &Predicate,
-) -> Result<bool, ExecError> {
-    match p {
-        Predicate::And(l, r) => {
-            Ok(eval_having(db, rel, rows, l)? && eval_having(db, rel, rows, r)?)
-        }
-        Predicate::Or(l, r) => {
-            Ok(eval_having(db, rel, rows, l)? || eval_having(db, rel, rows, r)?)
-        }
-        Predicate::Cmp { op, attr, rhs } => {
-            let v = group_attr_value(rel, rows, attr)?;
-            let rv = operand_values(db, rhs)?;
-            let Some(first) = rv.first() else { return Ok(false) };
-            Ok(cmp_values(&v, first, *op))
-        }
-        Predicate::Between { attr, low, high } => {
-            let v = group_attr_value(rel, rows, attr)?;
-            let lo = operand_values(db, low)?;
-            let hi = operand_values(db, high)?;
-            match (lo.first(), hi.first()) {
-                (Some(lo), Some(hi)) => {
-                    Ok(cmp_values(&v, lo, CmpOp::Ge) && cmp_values(&v, hi, CmpOp::Le))
-                }
-                _ => Ok(false),
-            }
-        }
-        Predicate::Like { attr, pattern, negated } => {
-            let v = group_attr_value(rel, rows, attr)?;
-            Ok(!v.is_null() && (v.like(pattern) != *negated))
-        }
-        Predicate::In { attr, rhs, negated } => {
-            let v = group_attr_value(rel, rows, attr)?;
-            if v.is_null() {
-                return Ok(false);
-            }
-            let vals = operand_values(db, rhs)?;
-            Ok(vals.iter().any(|x| v.sql_eq(x)) != *negated)
-        }
-    }
 }
 
 fn attr_display(a: &Attr) -> String {
@@ -570,210 +981,35 @@ fn attr_display(a: &Attr) -> String {
     }
 }
 
-fn attr_out_type(rel: &Relation, a: &Attr) -> ColumnType {
+fn attr_out_type(scan: &ScanData, a: &Attr) -> ColumnType {
     match a.agg {
         AggFunc::Count | AggFunc::Sum | AggFunc::Avg => ColumnType::Quantitative,
         AggFunc::Max | AggFunc::Min | AggFunc::None => {
             if a.col.is_star() {
                 ColumnType::Categorical
             } else {
-                rel.col_idx(&a.col)
-                    .map(|i| rel.types[i])
+                col_idx(&scan.cols, &a.col)
+                    .map(|i| scan.types[i])
                     .unwrap_or(ColumnType::Categorical)
             }
         }
     }
 }
 
-fn execute_body(db: &Database, body: &QueryBody) -> Result<ResultSet, ExecError> {
-    let rel = build_from(db, body)?;
-
-    let (where_p, having_p) = match body.filter.clone() {
-        Some(p) => split_where_having(p),
-        None => (None, None),
-    };
-
-    // WHERE
-    let mut rows: Vec<&Vec<Value>> = Vec::with_capacity(rel.rows.len());
-    for row in &rel.rows {
-        let keep = match &where_p {
-            Some(p) => eval_pred_row(db, &rel, row, p)?,
-            None => true,
-        };
-        if keep {
-            rows.push(row);
-        }
-    }
-
-    // Grouping plan.
-    let explicit_group = body.group.clone().filter(|g| !g.is_empty());
-    let has_agg = body.select.iter().any(Attr::is_aggregated) || having_p.is_some();
-    let grouped = explicit_group.is_some() || has_agg;
-
-    let columns: Vec<String> = body.select.iter().map(attr_display).collect();
-    let types: Vec<ColumnType> = body.select.iter().map(|a| attr_out_type(&rel, a)).collect();
-
-    let mut out_rows: Vec<(Vec<Value>, Option<Value>, Option<Value>)> = Vec::new();
-
-    if grouped {
-        // Key columns: explicit group-by + bin, or implicit (all bare select
-        // columns) when aggregates appear without GROUP BY.
-        let (key_cols, bin): (Vec<ColumnRef>, Option<BinSpec>) = match &explicit_group {
-            Some(g) => (g.group_by.clone(), g.bin.clone()),
-            None => (
-                body.select
-                    .iter()
-                    .filter(|a| !a.is_aggregated())
-                    .map(|a| a.col.clone())
-                    .collect(),
-                None,
-            ),
-        };
-        let key_idx: Vec<usize> = key_cols
-            .iter()
-            .map(|c| rel.col_idx(c))
-            .collect::<Result<_, _>>()?;
-        let bin_info: Option<(usize, BinUnit, Option<NumericBins>)> = match &bin {
-            Some(b) => {
-                let i = rel.col_idx(&b.col)?;
-                let numeric = match b.unit {
-                    BinUnit::Numeric { n_bins } => Some(NumericBins::from_values(
-                        rows.iter().filter_map(|r| r[i].as_f64()),
-                        n_bins,
-                    )),
-                    _ => None,
-                };
-                Some((i, b.unit, numeric))
-            }
-            None => None,
-        };
-
-        // Group rows by (bin ordinal, key values). Each group keeps its bin
-        // label plus the member rows.
-        type GroupKey = (i64, Vec<Value>);
-        type Group<'r> = (Value, Vec<&'r Vec<Value>>);
-        let mut groups: HashMap<GroupKey, Group> = HashMap::new();
-        for row in rows {
-            let (ord, label) = match &bin_info {
-                Some((i, unit, nb)) => bin_value(&row[*i], *unit, nb.as_ref()),
-                None => (0, Value::Null),
-            };
-            let key: Vec<Value> = key_idx.iter().map(|&i| row[i].clone()).collect();
-            groups
-                .entry((ord, key))
-                .or_insert_with(|| (label, Vec::new()))
-                .1
-                .push(row);
-        }
-        // SQL semantics: a global aggregate (no grouping keys) over empty
-        // input still yields one row (COUNT(*) = 0, SUM/AVG = NULL).
-        if groups.is_empty() && key_idx.is_empty() && bin_info.is_none() {
-            groups.insert((0, vec![]), (Value::Null, vec![]));
-        }
-        let mut entries: Vec<(GroupKey, Group)> = groups.into_iter().collect();
-        entries.sort_by(|a, b| a.0 .0.cmp(&b.0 .0).then_with(|| cmp_rows(&a.0 .1, &b.0 .1)));
-
-        let bin_col = bin.as_ref().map(|b| b.col.clone());
-        for ((_ord, key), (label, grows)) in entries {
-            if let Some(h) = &having_p {
-                if !eval_having(db, &rel, &grows, h)? {
-                    continue;
-                }
-            }
-            let mut out = Vec::with_capacity(body.select.len());
-            for a in &body.select {
-                // The binned column projects its bin label.
-                if a.agg == AggFunc::None && Some(&a.col) == bin_col.as_ref() {
-                    out.push(label.clone());
-                    continue;
-                }
-                // Grouping keys project the key value directly.
-                if a.agg == AggFunc::None {
-                    if let Some(pos) = key_cols.iter().position(|c| *c == a.col) {
-                        out.push(key[pos].clone());
-                        continue;
-                    }
-                }
-                out.push(group_attr_value(&rel, &grows, a)?);
-            }
-            let ord_v = match &body.order {
-                Some(o) => Some(order_value(&rel, &grows, &key_cols, &key, &o.attr)?),
-                None => None,
-            };
-            let sup_v = match &body.superlative {
-                Some(s) => Some(order_value(&rel, &grows, &key_cols, &key, &s.attr)?),
-                None => None,
-            };
-            out_rows.push((out, ord_v, sup_v));
-        }
-    } else {
-        let sel_idx: Vec<usize> = body
-            .select
-            .iter()
-            .map(|a| rel.col_idx(&a.col))
-            .collect::<Result<_, _>>()?;
-        for row in rows {
-            let out: Vec<Value> = sel_idx.iter().map(|&i| row[i].clone()).collect();
-            let ord_v = match &body.order {
-                Some(o) => Some(row[rel.col_idx(&o.attr.col)?].clone()),
-                None => None,
-            };
-            let sup_v = match &body.superlative {
-                Some(s) => Some(row[rel.col_idx(&s.attr.col)?].clone()),
-                None => None,
-            };
-            out_rows.push((out, ord_v, sup_v));
-        }
-    }
-
-    // Superlative first (it defines its own ordering + limit)…
-    if let Some(s) = &body.superlative {
-        out_rows.sort_by(|a, b| {
-            let av = a.2.as_ref().unwrap_or(&Value::Null);
-            let bv = b.2.as_ref().unwrap_or(&Value::Null);
-            let c = av.total_cmp(bv);
-            match s.dir {
-                SuperDir::Most => c.reverse(),
-                SuperDir::Least => c,
-            }
-        });
-        out_rows.truncate(s.k as usize);
-    }
-    // …then ORDER BY re-sorts the (possibly truncated) output.
-    if let Some(o) = &body.order {
-        out_rows.sort_by(|a, b| {
-            let av = a.1.as_ref().unwrap_or(&Value::Null);
-            let bv = b.1.as_ref().unwrap_or(&Value::Null);
-            let c = av.total_cmp(bv);
-            match o.dir {
-                OrderDir::Asc => c,
-                OrderDir::Desc => c.reverse(),
-            }
-        });
-    }
-
-    Ok(ResultSet {
-        columns,
-        types,
-        rows: out_rows.into_iter().map(|(r, _, _)| r).collect(),
-    })
-}
-
 /// Evaluate an order/superlative attribute for one group: aggregates compute
 /// over the group's rows; bare key columns read the key.
 fn order_value(
-    rel: &Relation,
-    grows: &[&Vec<Value>],
+    scan: &ScanData,
+    entry: &GroupEntry,
     key_cols: &[ColumnRef],
-    key: &[Value],
     attr: &Attr,
 ) -> Result<Value, ExecError> {
     if attr.agg == AggFunc::None {
         if let Some(pos) = key_cols.iter().position(|c| *c == attr.col) {
-            return Ok(key[pos].clone());
+            return Ok(entry.key[pos].clone());
         }
     }
-    group_attr_value(rel, grows, attr)
+    group_attr_value(scan, &entry.rows, attr)
 }
 
 #[cfg(test)]
@@ -1120,5 +1356,107 @@ mod tests {
         // Aggregate + bare column without GROUP BY: implicit grouping.
         let rs = run("select flight.destination , count ( flight.* ) from flight");
         assert_eq!(rs.rows.len(), 3);
+    }
+
+    // ---- cache behaviour -------------------------------------------------
+
+    /// Every grammar feature exercised above, executed with and without a
+    /// cache: results must be identical, both on a cold and a warm cache.
+    #[test]
+    fn cached_execution_matches_uncached() {
+        let db = db();
+        let queries = [
+            "select flight.destination , flight.price from flight",
+            "select flight.fno from flight where flight.price > 250",
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination",
+            "select avg ( flight.price ) , sum ( flight.price ) from flight",
+            "select airport.city , count ( flight.* ) from flight \
+             join airport on flight.src = airport.id \
+             where flight.price >= 200 group by airport.city",
+            "select flight.destination , count ( flight.* ) from flight \
+             where count ( flight.* ) >= 2 group by flight.destination",
+            "select flight.departure , count ( flight.* ) from flight \
+             bin flight.departure by month",
+            "select flight.price , count ( flight.* ) from flight \
+             bin flight.price by bucket_10",
+            "select flight.destination from flight where flight.price > 250 \
+             intersect select flight.destination from flight where flight.price < 250",
+            "select flight.fno from flight where flight.price > \
+             ( select avg ( flight.price ) from flight )",
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination order by count ( flight.* ) desc",
+            "select flight.fno , flight.price from flight top 2 by flight.price",
+        ];
+        let mut cache = ExecCache::new();
+        for vql in queries {
+            let q = parse_vql_str(vql).unwrap();
+            let plain = execute(&db, &q).unwrap();
+            let cold = execute_with_cache(&db, &q, &mut cache).unwrap();
+            assert_eq!(plain, cold, "cold-cache mismatch on {vql}");
+            let warm = execute_with_cache(&db, &q, &mut cache).unwrap();
+            assert_eq!(plain, warm, "warm-cache mismatch on {vql}");
+        }
+        assert!(cache.stats.scan_hits > 0, "warm runs must hit the scan cache");
+        assert!(cache.stats.group_hits > 0, "warm runs must hit the group cache");
+        assert!(cache.stats.result_hits > 0, "subquery memo must be hit");
+        assert!(!cache.is_empty());
+    }
+
+    /// Candidates sharing a FROM/WHERE fragment reuse one scan even when
+    /// their projections and groupings differ.
+    #[test]
+    fn scan_cache_shared_across_projections() {
+        let db = db();
+        let mut cache = ExecCache::new();
+        let variants = [
+            "select flight.destination from flight where flight.price > 150",
+            "select flight.fno , flight.price from flight where flight.price > 150",
+            "select flight.destination , count ( flight.* ) from flight \
+             where flight.price > 150 group by flight.destination",
+            "select flight.destination , avg ( flight.price ) from flight \
+             where flight.price > 150 group by flight.destination",
+        ];
+        for vql in variants {
+            let q = parse_vql_str(vql).unwrap();
+            execute_with_cache(&db, &q, &mut cache).unwrap();
+        }
+        // One unique (FROM, WHERE) fragment → one scan miss, three hits.
+        assert_eq!(cache.stats.scan_misses, 1);
+        assert_eq!(cache.stats.scan_hits, 3);
+        // The two grouped variants share one group partition.
+        assert_eq!(cache.stats.group_misses, 1);
+        assert_eq!(cache.stats.group_hits, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "bound to database")]
+    fn cache_refuses_foreign_database() {
+        let a = db();
+        let mut b = Database::new("other", "Other");
+        b.add_table(table_from(
+            "t",
+            &[("x", ColumnType::Quantitative)],
+            vec![vec![Value::Int(1)]],
+        ));
+        let q = parse_vql_str("select flight.fno from flight").unwrap();
+        let mut cache = ExecCache::new();
+        execute_with_cache(&a, &q, &mut cache).unwrap();
+        let q2 = parse_vql_str("select t.x from t").unwrap();
+        let _ = execute_with_cache(&b, &q2, &mut cache);
+    }
+
+    #[test]
+    fn cache_clear_resets_entries() {
+        let db = db();
+        let mut cache = ExecCache::new();
+        let q = parse_vql_str("select flight.fno from flight").unwrap();
+        execute_with_cache(&db, &q, &mut cache).unwrap();
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        // Still bound and usable after clear.
+        execute_with_cache(&db, &q, &mut cache).unwrap();
+        assert_eq!(cache.stats.scan_misses, 2);
     }
 }

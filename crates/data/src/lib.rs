@@ -38,7 +38,7 @@ pub mod table;
 pub mod value;
 
 pub use csv::{table_from_csv, CsvError};
-pub use exec::{execute, ExecError, ResultSet};
+pub use exec::{execute, execute_with_cache, CacheStats, ExecCache, ExecError, ResultSet};
 pub use schema::{Column, ColumnType, ForeignKey, TableSchema};
 pub use table::{table_from, Database, Table};
 pub use value::{Timestamp, Value};

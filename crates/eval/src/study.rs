@@ -140,9 +140,9 @@ pub fn inter_rater(bench: &NvBench, n: usize, seed: u64) -> InterRater {
         let vis = &bench.vis_objects[pair.vis_id];
         let (_, q2) = latent_quality(vis, pair);
         let mut ratings: Vec<u8> = Vec::with_capacity(4);
-        ratings.push(experts[rng.random_range(0..23)].rate(&mut rng, q2).score());
+        ratings.push(experts[rng.random_range(0..23usize)].rate(&mut rng, q2).score());
         for _ in 0..3 {
-            ratings.push(crowd[rng.random_range(0..40)].rate(&mut rng, q2).score());
+            ratings.push(crowd[rng.random_range(0..40usize)].rate(&mut rng, q2).score());
         }
         let max = *ratings.iter().max().unwrap();
         let min = *ratings.iter().min().unwrap();

@@ -165,7 +165,7 @@ pub fn synthetic_training_set(seed: u64, n: usize) -> (Vec<Vec<f64>>, Vec<bool>)
 }
 
 fn random_features(rng: &mut StdRng) -> ChartFeatures {
-    let chart = ChartType::ALL[rng.random_range(0..7)];
+    let chart = ChartType::ALL[rng.random_range(0..7usize)];
     // Half the corpus concentrates on small cardinalities, where the
     // keep/prune boundary actually lives.
     let n_distinct_x = if rng.random::<f64>() < 0.5 {

@@ -55,11 +55,22 @@ impl DeepEyeFilter {
     /// Ranking score in [0, 1] (rule failures score 0) — used by the DeepEye
     /// keyword-search baseline to order its top-k charts.
     pub fn score(&self, cd: &ChartData) -> f64 {
+        self.evaluate(cd).1
+    }
+
+    /// One pass over the features: (M(v) verdict, ranking score). Equivalent
+    /// to calling [`is_good`](Self::is_good) and [`score`](Self::score) but
+    /// extracts the feature vector once — the synthesis pipeline evaluates
+    /// dozens of candidates per pair, so the doubled extraction showed up.
+    pub fn evaluate(&self, cd: &ChartData) -> (bool, f64) {
         let f = ChartFeatures::of(cd);
         match expert_rules(&f) {
-            RuleVerdict::Invalid(_) => 0.0,
-            RuleVerdict::Bad(_) => 0.05,
-            RuleVerdict::Pass => self.classifier.prob(&f.vector()),
+            RuleVerdict::Invalid(_) => (false, 0.0),
+            RuleVerdict::Bad(_) => (false, 0.05),
+            RuleVerdict::Pass => {
+                let v = f.vector();
+                (self.classifier.predict(&v), self.classifier.prob(&v))
+            }
         }
     }
 }

@@ -2,7 +2,7 @@
 //! visualization spec.
 
 use nv_ast::{ChartType, VisQuery};
-use nv_data::{execute, ColumnType, Database, ExecError, ResultSet, Value};
+use nv_data::{execute, execute_with_cache, ColumnType, Database, ExecCache, ExecError, ResultSet, Value};
 
 /// Error producing chart data.
 #[derive(Debug, Clone, PartialEq)]
@@ -81,6 +81,18 @@ impl ChartData {
 pub fn chart_data(db: &Database, q: &VisQuery) -> Result<ChartData, RenderError> {
     let chart = q.chart.ok_or(RenderError::NotAVisQuery)?;
     let rs = execute(db, q)?;
+    chart_data_from_result(chart, &rs)
+}
+
+/// Like [`chart_data`] but executing through a per-database [`ExecCache`],
+/// so sibling candidates sharing a FROM/WHERE/GROUP fragment reuse work.
+pub fn chart_data_cached(
+    db: &Database,
+    q: &VisQuery,
+    cache: &mut ExecCache,
+) -> Result<ChartData, RenderError> {
+    let chart = q.chart.ok_or(RenderError::NotAVisQuery)?;
+    let rs = execute_with_cache(db, q, cache)?;
     chart_data_from_result(chart, &rs)
 }
 

@@ -49,9 +49,9 @@ pub fn covid_database(seed: u64) -> Database {
     let days = 235; // through 2020-09-12
     for (ci, country) in COUNTRIES.iter().enumerate() {
         // Logistic growth with country-specific scale and onset.
-        let scale = 200_000.0 * (ci as f64 + 1.0) * rng.random_range(0.6..1.4);
-        let onset = rng.random_range(20.0..70.0);
-        let rate = rng.random_range(0.06..0.12);
+        let scale: f64 = 200_000.0 * (ci as f64 + 1.0) * rng.random_range(0.6..1.4);
+        let onset: f64 = rng.random_range(20.0..70.0);
+        let rate: f64 = rng.random_range(0.06..0.12);
         let mut prev_confirmed = 0.0;
         for d in 0..days {
             let t = d as f64;
@@ -59,8 +59,8 @@ pub fn covid_database(seed: u64) -> Database {
             let daily = (confirmed - prev_confirmed).max(0.0)
                 * rng.random_range(0.8..1.2);
             prev_confirmed = confirmed;
-            let deaths = confirmed * rng.random_range(0.015..0.035);
-            let recovered = (confirmed - deaths) * (t / days as f64).min(0.9)
+            let deaths: f64 = confirmed * rng.random_range(0.015..0.035);
+            let recovered: f64 = (confirmed - deaths) * (t / days as f64).min(0.9)
                 * rng.random_range(0.7..1.0);
             let active = (confirmed - deaths - recovered).max(0.0);
             let date = add_days(start, d);

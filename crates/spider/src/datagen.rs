@@ -266,12 +266,24 @@ fn induce_correlations(rng: &mut StdRng, table: &mut Table) {
             if v.is_empty() { 1.0 } else { v.iter().sum::<f64>() / v.len() as f64 }
         };
         let (m_src, m_dst) = (mean(src).max(1e-9), mean(dst).max(1e-9));
-        let alpha = rng.random_range(0.55..0.9);
+        // The blend must not push values outside the domain the generator
+        // enforced (e.g. age ∈ [16, 90]); clamp to the pre-blend range.
+        let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+        for row in &table.rows {
+            if let Some(d) = row[dst].as_f64() {
+                lo = lo.min(d);
+                hi = hi.max(d);
+            }
+        }
+        if lo > hi {
+            continue;
+        }
+        let alpha: f64 = rng.random_range(0.55..0.9);
         let negate = rng.random::<f64>() < 0.25;
         for row in &mut table.rows {
             let (Some(s), Some(d)) = (row[src].as_f64(), row[dst].as_f64()) else { continue };
             let scaled = if negate { (2.0 - s / m_src) * m_dst } else { s / m_src * m_dst };
-            let blended = (alpha * scaled + (1.0 - alpha) * d).max(0.0);
+            let blended = (alpha * scaled + (1.0 - alpha) * d).clamp(lo, hi);
             row[dst] = match row[dst] {
                 Value::Int(_) => Value::Int(blended.round() as i64),
                 _ => Value::Float((blended * 100.0).round() / 100.0),

@@ -3,15 +3,18 @@
 //! expert rules and the trained classifier; only good charts survive.
 
 use crate::edits::VisCandidate;
-use nv_data::Database;
+use nv_data::{Database, ExecCache};
 use nv_quality::DeepEyeFilter;
-use nv_render::{chart_data, ChartData};
+use nv_render::{chart_data, chart_data_cached, ChartData};
 
 /// A candidate that survived filtering, with its executed chart data.
 #[derive(Debug, Clone)]
 pub struct GoodVis {
     pub candidate: VisCandidate,
     pub data: ChartData,
+    /// The filter's ranking score, computed in the same pass as the verdict
+    /// so downstream ranking never re-extracts chart features.
+    pub score: f64,
 }
 
 /// Statistics from one filtering pass.
@@ -31,15 +34,41 @@ pub fn filter_candidates(
     candidates: Vec<VisCandidate>,
     filter: &DeepEyeFilter,
 ) -> (Vec<GoodVis>, FilterStats) {
+    filter_impl(db, candidates, filter, None)
+}
+
+/// Like [`filter_candidates`] but executing candidates through a
+/// per-database [`ExecCache`]: sibling candidates overwhelmingly share
+/// their FROM/WHERE/GROUP fragments, so the scan work is done once.
+pub fn filter_candidates_cached(
+    db: &Database,
+    candidates: Vec<VisCandidate>,
+    filter: &DeepEyeFilter,
+    cache: &mut ExecCache,
+) -> (Vec<GoodVis>, FilterStats) {
+    filter_impl(db, candidates, filter, Some(cache))
+}
+
+fn filter_impl(
+    db: &Database,
+    candidates: Vec<VisCandidate>,
+    filter: &DeepEyeFilter,
+    mut cache: Option<&mut ExecCache>,
+) -> (Vec<GoodVis>, FilterStats) {
     let mut stats = FilterStats { total: candidates.len(), ..Default::default() };
     let mut good = Vec::new();
     for candidate in candidates {
-        match chart_data(db, &candidate.tree) {
+        let data = match cache.as_deref_mut() {
+            Some(c) => chart_data_cached(db, &candidate.tree, c),
+            None => chart_data(db, &candidate.tree),
+        };
+        match data {
             Err(_) => stats.failed_exec += 1,
             Ok(data) => {
-                if filter.is_good(&data) {
+                let (is_good, score) = filter.evaluate(&data);
+                if is_good {
                     stats.kept += 1;
-                    good.push(GoodVis { candidate, data });
+                    good.push(GoodVis { candidate, data, score });
                 } else {
                     stats.pruned += 1;
                 }
@@ -99,6 +128,26 @@ mod tests {
         let (good, stats) = filter_candidates(&bad_db, cands, &filter);
         assert_eq!(good.len(), 0, "{stats:?}");
         assert!(stats.pruned > 0);
+    }
+
+    #[test]
+    fn cached_filtering_matches_uncached() {
+        let filter = DeepEyeFilter::new(42);
+        let d = db(6);
+        let cands = generate_candidates(
+            &d,
+            &parse_vql_str("select t.cat , t.q from t").unwrap(),
+        );
+        let (plain, s1) = filter_candidates(&d, cands.clone(), &filter);
+        let mut cache = nv_data::ExecCache::new();
+        let (cached, s2) = filter_candidates_cached(&d, cands, &filter, &mut cache);
+        assert_eq!(s1, s2);
+        assert_eq!(plain.len(), cached.len());
+        for (a, b) in plain.iter().zip(&cached) {
+            assert_eq!(a.data, b.data);
+            assert_eq!(a.score, b.score);
+        }
+        assert!(cache.stats.hits() > 0, "{:?}", cache.stats);
     }
 
     #[test]

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# Quick throughput smoke: release build, quick-mode exp_scale, and the
+# resulting BENCH_synth.json (pairs/sec + speedup vs the sequential oracle).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release -p nv-bench
+NV_EXP_SCALE_QUICK=1 cargo bench -p nv-bench --bench exp_scale
+
+echo
+echo "--- BENCH_synth.json ---"
+cat BENCH_synth.json

@@ -1,0 +1,198 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the API subset this workspace uses — `Criterion`,
+//! `benchmark_group` / `BenchmarkGroup::{sample_size, bench_function,
+//! finish}`, `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros — with plain `std::time::Instant` timing and a
+//! one-line-per-benchmark report. No statistics engine, no plotting, no
+//! CLI parsing beyond tolerating whatever flags `cargo bench` passes.
+
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Opaque to the optimizer, transparent to the caller.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Harness entry point; hands out benchmark groups.
+pub struct Criterion {
+    _private: (),
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { _private: () }
+    }
+}
+
+impl Criterion {
+    /// `cargo bench` passes flags like `--bench`; accept and ignore them.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _criterion: self,
+            name: name.to_string(),
+            sample_size: 100,
+        }
+    }
+
+    /// Ungrouped convenience mirroring upstream's `Criterion::bench_function`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut g = BenchmarkGroup {
+            _criterion: self,
+            name: String::new(),
+            sample_size: 100,
+        };
+        g.bench_function(id, f);
+        self
+    }
+
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n >= 1, "sample size must be at least 1");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = if self.name.is_empty() {
+            id.to_string()
+        } else {
+            format!("{}/{}", self.name, id)
+        };
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+        };
+        // One warm-up call outside measurement, then `sample_size` samples.
+        f(&mut bencher);
+        bencher.samples.clear();
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+        }
+        report(&label, &bencher.samples);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; `iter` times one sample.
+pub struct Bencher {
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        let out = routine();
+        let elapsed = start.elapsed();
+        black_box(out);
+        self.samples.push(elapsed);
+    }
+}
+
+fn report(label: &str, samples: &[Duration]) {
+    if samples.is_empty() {
+        println!("{label:<40} (no samples)");
+        return;
+    }
+    let mut sorted = samples.to_vec();
+    sorted.sort();
+    let total: Duration = sorted.iter().sum();
+    let mean = total / sorted.len() as u32;
+    let min = sorted[0];
+    let max = sorted[sorted.len() - 1];
+    println!(
+        "{label:<40} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        sorted.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Collect benchmark functions into a runner, mirroring upstream's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Run one or more groups as the bench binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_closure_expected_times() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        {
+            let mut g = c.benchmark_group("t");
+            g.sample_size(10);
+            g.bench_function("count", |b| {
+                b.iter(|| {
+                    calls += 1;
+                    calls
+                })
+            });
+            g.finish();
+        }
+        // 1 warm-up + 10 samples.
+        assert_eq!(calls, 11);
+    }
+
+    #[test]
+    fn black_box_is_identity() {
+        assert_eq!(black_box(42), 42);
+    }
+}

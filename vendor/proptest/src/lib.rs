@@ -1,0 +1,682 @@
+//! Offline stand-in for the `proptest` property-testing crate.
+//!
+//! Implements the DSL subset this workspace's tests use: `proptest!` /
+//! `prop_compose!` / `prop_oneof!`, `Strategy` with `prop_map` /
+//! `prop_recursive` / `boxed`, `any::<T>()`, `Just`, numeric-range and
+//! regex-pattern strategies, `prop::sample::{select, subsequence}`,
+//! `prop::collection::vec`, `prop::option::of`, `prop_assert!` /
+//! `prop_assert_eq!`, `TestCaseError`, and `ProptestConfig::with_cases`.
+//!
+//! Strategies are plain deterministic samplers (seeded per case index), so
+//! failures reproduce exactly on re-run. There is no shrinking: a failing
+//! case reports its case index and message as-is.
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+    use std::rc::Rc;
+
+    /// A generator of values of type `Self::Value`.
+    pub trait Strategy {
+        type Value;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+        {
+            BoxedStrategy {
+                sampler: Rc::new(move |rng| self.sample(rng)),
+            }
+        }
+
+        /// Recursive strategies, unrolled to `depth` levels: each level
+        /// flips between the leaf strategy and one application of `expand`,
+        /// so generated trees nest at most `depth` deep. The `_desired_size`
+        /// and `_expected_branch` hints exist for signature compatibility.
+        fn prop_recursive<S2, F>(
+            self,
+            depth: u32,
+            _desired_size: u32,
+            _expected_branch: u32,
+            expand: F,
+        ) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+            Self::Value: 'static,
+            S2: Strategy<Value = Self::Value> + 'static,
+            F: Fn(BoxedStrategy<Self::Value>) -> S2,
+        {
+            let leaf = self.boxed();
+            let mut cur = leaf.clone();
+            for _ in 0..depth {
+                let expanded = expand(cur).boxed();
+                let l = leaf.clone();
+                cur = from_fn(move |rng| {
+                    if rng.random_bool(0.5) {
+                        l.sample(rng)
+                    } else {
+                        expanded.sample(rng)
+                    }
+                })
+                .boxed();
+            }
+            cur
+        }
+    }
+
+    /// Type-erased, cheaply clonable strategy (`Rc` under the hood).
+    pub struct BoxedStrategy<T> {
+        sampler: Rc<dyn Fn(&mut TestRng) -> T>,
+    }
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy {
+                sampler: Rc::clone(&self.sampler),
+            }
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.sampler)(rng)
+        }
+    }
+
+    /// Strategy from a sampling closure.
+    pub struct FnStrategy<F>(F);
+
+    impl<T, F: Fn(&mut TestRng) -> T> Strategy for FnStrategy<F> {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            (self.0)(rng)
+        }
+    }
+
+    pub fn from_fn<T, F: Fn(&mut TestRng) -> T>(f: F) -> FnStrategy<F> {
+        FnStrategy(f)
+    }
+
+    /// Uniform choice among same-typed boxed strategies (`prop_oneof!`).
+    pub fn one_of<T: 'static>(choices: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one strategy");
+        from_fn(move |rng| {
+            let idx = rng.random_range(0..choices.len());
+            choices[idx].sample(rng)
+        })
+        .boxed()
+    }
+
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// Always yields a clone of the given value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    // Numeric ranges are strategies over their element type.
+    impl<T> Strategy for std::ops::Range<T>
+    where
+        std::ops::Range<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    impl<T> Strategy for std::ops::RangeInclusive<T>
+    where
+        std::ops::RangeInclusive<T>: rand::SampleRange<T> + Clone,
+    {
+        type Value = T;
+        fn sample(&self, rng: &mut TestRng) -> T {
+            rng.random_range(self.clone())
+        }
+    }
+
+    // A `&str` literal is a regex-subset strategy producing `String`:
+    // sequences of literal chars or `[...]` classes, each with an optional
+    // `{m}` / `{m,n}` repetition.
+    impl Strategy for &'static str {
+        type Value = String;
+        fn sample(&self, rng: &mut TestRng) -> String {
+            crate::string::sample_pattern(self, rng)
+        }
+    }
+
+    macro_rules! tuple_strategy {
+        ($(($($s:ident . $idx:tt),+))*) => {$(
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A.0)
+        (A.0, B.1)
+        (A.0, B.1, C.2)
+        (A.0, B.1, C.2, D.3)
+        (A.0, B.1, C.2, D.3, E.4)
+        (A.0, B.1, C.2, D.3, E.4, F.5)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6)
+        (A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7)
+    }
+
+    /// Size bound for collection strategies.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        pub min: usize,
+        pub max_incl: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange { min: r.start, max_incl: r.end - 1 }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { min: *r.start(), max_incl: *r.end() }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max_incl: n }
+        }
+    }
+}
+
+pub mod arbitrary {
+    use crate::strategy::{from_fn, FnStrategy};
+    use crate::test_runner::TestRng;
+
+    /// Types with a canonical strategy, reachable via [`any`].
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.random()
+        }
+    }
+
+    macro_rules! int_arbitrary {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    int_arbitrary!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Arbitrary for f64 {
+        fn arbitrary(rng: &mut TestRng) -> f64 {
+            // Finite, sign-balanced, magnitude up to ~1e9.
+            (rng.random::<f64>() - 0.5) * 2e9
+        }
+    }
+
+    impl Arbitrary for char {
+        fn arbitrary(rng: &mut TestRng) -> char {
+            // Printable ASCII keeps generated text debuggable.
+            (rng.random_range(0x20u32..0x7f) as u8) as char
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> FnStrategy<impl Fn(&mut TestRng) -> A> {
+        from_fn(|rng| A::arbitrary(rng))
+    }
+
+    // `use rand::Rng` for the blanket methods on TestRng.
+    use rand::Rng as _;
+}
+
+pub mod string {
+    use crate::test_runner::TestRng;
+    use rand::Rng as _;
+
+    /// Sample a string from a regex-subset pattern: literal characters and
+    /// `[...]` character classes (with `a-z` ranges), each optionally
+    /// followed by `{m}` or `{m,n}` repetition.
+    pub fn sample_pattern(pattern: &str, rng: &mut TestRng) -> String {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut i = 0usize;
+        let mut out = String::new();
+        while i < chars.len() {
+            let set: Vec<char> = if chars[i] == '[' {
+                i += 1;
+                let mut set = Vec::new();
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (a, b) = (chars[i], chars[i + 2]);
+                        assert!(a <= b, "bad range {a}-{b} in pattern {pattern}");
+                        for c in a..=b {
+                            set.push(c);
+                        }
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern}");
+                i += 1; // skip ']'
+                set
+            } else {
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            };
+            let (lo, hi) = if i < chars.len() && chars[i] == '{' {
+                i += 1;
+                let mut lo = 0usize;
+                while chars[i].is_ascii_digit() {
+                    lo = lo * 10 + (chars[i] as usize - '0' as usize);
+                    i += 1;
+                }
+                let hi = if chars[i] == ',' {
+                    i += 1;
+                    let mut hi = 0usize;
+                    while chars[i].is_ascii_digit() {
+                        hi = hi * 10 + (chars[i] as usize - '0' as usize);
+                        i += 1;
+                    }
+                    hi
+                } else {
+                    lo
+                };
+                assert!(chars[i] == '}', "unterminated repetition in {pattern}");
+                i += 1;
+                (lo, hi)
+            } else {
+                (1, 1)
+            };
+            let n = rng.random_range(lo..=hi);
+            for _ in 0..n {
+                out.push(set[rng.random_range(0..set.len())]);
+            }
+        }
+        out
+    }
+}
+
+pub mod sample {
+    use crate::strategy::{from_fn, BoxedStrategy, SizeRange, Strategy};
+    use rand::Rng as _;
+
+    /// Uniformly select one element of `items`.
+    pub fn select<T: Clone + 'static>(items: Vec<T>) -> BoxedStrategy<T> {
+        assert!(!items.is_empty(), "select from empty vec");
+        from_fn(move |rng| items[rng.random_range(0..items.len())].clone()).boxed()
+    }
+
+    /// A random order-preserving subsequence of `items`, with length in
+    /// `size`.
+    pub fn subsequence<T: Clone + 'static>(
+        items: Vec<T>,
+        size: impl Into<SizeRange>,
+    ) -> BoxedStrategy<Vec<T>> {
+        let size = size.into();
+        assert!(
+            size.max_incl <= items.len(),
+            "subsequence size exceeds source length"
+        );
+        from_fn(move |rng| {
+            let k = rng.random_range(size.min..=size.max_incl);
+            let mut idx: Vec<usize> = (0..items.len()).collect();
+            while idx.len() > k {
+                let drop = rng.random_range(0..idx.len());
+                idx.remove(drop);
+            }
+            idx.into_iter().map(|i| items[i].clone()).collect()
+        })
+        .boxed()
+    }
+}
+
+pub mod collection {
+    use crate::strategy::{from_fn, BoxedStrategy, SizeRange, Strategy};
+    use rand::Rng as _;
+
+    /// `Vec` of values from `element`, with length in `size`.
+    pub fn vec<S>(element: S, size: impl Into<SizeRange>) -> BoxedStrategy<Vec<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        let size = size.into();
+        from_fn(move |rng| {
+            let n = rng.random_range(size.min..=size.max_incl);
+            (0..n).map(|_| element.sample(rng)).collect()
+        })
+        .boxed()
+    }
+}
+
+pub mod option {
+    use crate::strategy::{from_fn, BoxedStrategy, Strategy};
+    use rand::Rng as _;
+
+    /// `None` half the time, `Some(value)` otherwise.
+    pub fn of<S>(inner: S) -> BoxedStrategy<Option<S::Value>>
+    where
+        S: Strategy + 'static,
+        S::Value: 'static,
+    {
+        from_fn(move |rng| {
+            if rng.random_bool(0.5) {
+                Some(inner.sample(rng))
+            } else {
+                None
+            }
+        })
+        .boxed()
+    }
+}
+
+pub mod test_runner {
+    use std::fmt;
+
+    /// The generator handed to strategies; deterministic per case.
+    pub type TestRng = rand::rngs::StdRng;
+
+    /// Runner configuration (subset: case count only).
+    #[derive(Clone, Copy, Debug)]
+    pub struct ProptestConfig {
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// A failed (or rejected) test case.
+    #[derive(Clone, Debug)]
+    pub enum TestCaseError {
+        Fail(String),
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        pub fn fail(reason: impl Into<String>) -> Self {
+            TestCaseError::Fail(reason.into())
+        }
+
+        pub fn reject(reason: impl Into<String>) -> Self {
+            TestCaseError::Reject(reason.into())
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                TestCaseError::Fail(r) => write!(f, "{r}"),
+                TestCaseError::Reject(r) => write!(f, "rejected: {r}"),
+            }
+        }
+    }
+
+    pub type TestCaseResult = Result<(), TestCaseError>;
+
+    /// Drive `case` for `config.cases` iterations with per-index seeding.
+    /// Rejected cases are skipped; failures panic with the case index so a
+    /// run reproduces exactly.
+    pub fn run<F>(config: ProptestConfig, mut case: F)
+    where
+        F: FnMut(&mut TestRng) -> TestCaseResult,
+    {
+        use rand::SeedableRng as _;
+        for i in 0..config.cases {
+            let mut rng = TestRng::seed_from_u64(0x9d5f_c0de_0000_0000 ^ u64::from(i));
+            match case(&mut rng) {
+                Ok(()) => {}
+                Err(TestCaseError::Reject(_)) => {}
+                Err(TestCaseError::Fail(msg)) => {
+                    panic!("proptest case {i}/{} failed: {msg}", config.cases)
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult, TestRng};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_compose, prop_oneof, proptest};
+
+    /// Module-style access mirroring upstream's `prelude::prop`.
+    pub mod prop {
+        pub use crate::{collection, option, sample, strategy};
+    }
+}
+
+/// Uniform choice among strategies with a common value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::one_of(vec![
+            $( $crate::strategy::Strategy::boxed($strat) ),+
+        ])
+    };
+}
+
+/// Define a function returning a composed strategy:
+/// `prop_compose! { fn name()(var in strat, ...) -> Ret { body } }`.
+#[macro_export]
+macro_rules! prop_compose {
+    (
+        $vis:vis fn $name:ident($($arg:ident: $argty:ty),* $(,)?)
+            ($($var:ident in $strat:expr),* $(,)?)
+            -> $ret:ty $body:block
+    ) => {
+        $vis fn $name($($arg: $argty),*) -> impl $crate::strategy::Strategy<Value = $ret> {
+            $crate::strategy::from_fn(move |rng| {
+                $(let $var = $crate::strategy::Strategy::sample(&($strat), rng);)*
+                $body
+            })
+        }
+    };
+}
+
+/// Property-test block: each `#[test] fn name(var in strat, ...) { .. }`
+/// becomes a normal test that samples its inputs `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_each! { $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_each! { $crate::test_runner::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_each {
+    (
+        $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($var:ident in $strat:expr),* $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::test_runner::run($config, |rng| {
+                $(let $var = $crate::strategy::Strategy::sample(&($strat), rng);)*
+                let case = || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    Ok(())
+                };
+                case()
+            });
+        }
+        $crate::__proptest_each! { $config; $($rest)* }
+    };
+    ($config:expr;) => {};
+}
+
+/// Assert within a proptest body; failure becomes a `TestCaseError`.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Equality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`", l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{:?}` == `{:?}`: {}", l, r, format!($($fmt)*)
+        );
+    }};
+}
+
+/// Inequality assertion within a proptest body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{:?}` != `{:?}`", l, r
+        );
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn pattern_strategy_shapes() {
+        use rand::SeedableRng as _;
+        let mut rng = TestRng::seed_from_u64(5);
+        for _ in 0..200 {
+            let s = crate::string::sample_pattern("[a-z][a-z0-9_]{0,8}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "{s}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s.chars().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use std::cell::RefCell;
+        let a = RefCell::new(Vec::new());
+        crate::test_runner::run(ProptestConfig::with_cases(16), |rng| {
+            a.borrow_mut().push(crate::strategy::Strategy::sample(&(0i64..100), rng));
+            Ok(())
+        });
+        let b = RefCell::new(Vec::new());
+        crate::test_runner::run(ProptestConfig::with_cases(16), |rng| {
+            b.borrow_mut().push(crate::strategy::Strategy::sample(&(0i64..100), rng));
+            Ok(())
+        });
+        assert_eq!(*a.borrow(), *b.borrow());
+        assert!(a.borrow().iter().all(|v| (0..100).contains(v)));
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro pipeline end-to-end: tuples, oneof, option, vec, map.
+        #[test]
+        fn dsl_end_to_end(
+            n in 1u64..50,
+            flag in any::<bool>(),
+            word in "[a-z]{1,6}",
+            choice in prop_oneof![Just(1i32), Just(2i32)],
+            opt in prop::option::of(0i32..5),
+            items in prop::collection::vec(0i64..10, 1..4),
+        ) {
+            prop_assert!((1..50).contains(&n));
+            let _ = flag;
+            prop_assert!(!word.is_empty() && word.len() <= 6);
+            prop_assert!(choice == 1 || choice == 2);
+            if let Some(v) = opt { prop_assert!((0..5).contains(&v)); }
+            prop_assert!(!items.is_empty() && items.len() <= 3);
+        }
+    }
+
+    prop_compose! {
+        fn small_pair()(a in 0i32..10, b in 0i32..10) -> (i32, i32) { (a, b) }
+    }
+
+    proptest! {
+        #[test]
+        fn composed_strategy_samples(p in small_pair()) {
+            prop_assert!((0..10).contains(&p.0) && (0..10).contains(&p.1));
+        }
+    }
+}

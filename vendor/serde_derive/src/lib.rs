@@ -1,0 +1,388 @@
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the vendored serde
+//! subset. Implemented directly on `proc_macro::TokenStream` (the build
+//! environment has no syn/quote): the input item is parsed with a small
+//! hand-rolled scanner, and the generated impl is emitted as source text.
+//!
+//! Supported shapes — exactly what this workspace derives:
+//! * structs with named fields,
+//! * unit structs and tuple structs (newtype = transparent, like serde),
+//! * enums whose variants are unit, tuple, or struct-like,
+//! * no generic parameters (none of the workspace types have any).
+//!
+//! Representation matches upstream serde's externally-tagged default, so
+//! JSON written by this code is also what real serde would have written.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Shape {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[derive(Debug)]
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+#[derive(Debug)]
+enum ItemKind {
+    Struct(Shape),
+    Enum(Vec<(String, Shape)>),
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attribute sequences and `pub` / `pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 1; // '#'
+            if i < tokens.len() {
+                i += 1; // the [...] group
+            }
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+/// Split a field/variant list on top-level commas, tracking `<...>` depth so
+/// commas inside generic arguments don't split (groups are already atomic).
+fn split_top_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur: Vec<TokenTree> = Vec::new();
+    let mut angle = 0i32;
+    for tt in tokens {
+        if is_punct(tt, '<') {
+            angle += 1;
+        } else if is_punct(tt, '>') {
+            angle -= 1;
+        } else if is_punct(tt, ',') && angle == 0 {
+            if !cur.is_empty() {
+                out.push(std::mem::take(&mut cur));
+            }
+            continue;
+        }
+        cur.push(tt.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Field names of a named-field list (struct body or struct variant body).
+fn named_fields(tokens: &[TokenTree]) -> Vec<String> {
+    split_top_commas(tokens)
+        .into_iter()
+        .filter_map(|field| {
+            let i = skip_attrs_and_vis(&field, 0);
+            match field.get(i) {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected struct/enum, found {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, found {other:?}")),
+    };
+    i += 1;
+    if tokens.get(i).is_some_and(|t| is_punct(t, '<')) {
+        return Err(format!(
+            "vendored serde derive does not support generic type `{name}`"
+        ));
+    }
+
+    match kw.as_str() {
+        "struct" => {
+            let shape = match tokens.get(i) {
+                None | Some(TokenTree::Punct(_)) => Shape::Unit, // `struct X;`
+                Some(TokenTree::Group(g)) => match g.delimiter() {
+                    Delimiter::Brace => {
+                        Shape::Named(named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+                    }
+                    Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Shape::Tuple(split_top_commas(&inner).len())
+                    }
+                    _ => return Err(format!("unexpected struct body for `{name}`")),
+                },
+                other => return Err(format!("unexpected struct body: {other:?}")),
+            };
+            Ok(Item { name, kind: ItemKind::Struct(shape) })
+        }
+        "enum" => {
+            let body = match tokens.get(i) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                    g.stream().into_iter().collect::<Vec<_>>()
+                }
+                other => return Err(format!("expected enum body, found {other:?}")),
+            };
+            let mut variants = Vec::new();
+            for var in split_top_commas(&body) {
+                let j = skip_attrs_and_vis(&var, 0);
+                let vname = match var.get(j) {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    _ => continue,
+                };
+                let shape = match var.get(j + 1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        Shape::Tuple(split_top_commas(&inner).len())
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Shape::Named(named_fields(&g.stream().into_iter().collect::<Vec<_>>()))
+                    }
+                    _ => Shape::Unit,
+                };
+                variants.push((vname, shape));
+            }
+            Ok(Item { name, kind: ItemKind::Enum(variants) })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+const V: &str = "::serde::json::Value";
+const E: &str = "::serde::json::Error";
+
+// ---- Serialize -----------------------------------------------------------
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => format!("{V}::Null"),
+        ItemKind::Struct(Shape::Tuple(1)) => "::serde::Serialize::to_value(&self.0)".into(),
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("{V}::Array(vec![{}])", items.join(", "))
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let mut s = String::from("{ let mut m = ::serde::json::Map::new();\n");
+            for f in fields {
+                s.push_str(&format!(
+                    "m.insert(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            s.push_str(&format!("{V}::Object(m) }}"));
+            s
+        }
+        ItemKind::Enum(variants) => {
+            let mut arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => {V}::String(\"{vname}\".to_string()),\n"
+                    )),
+                    Shape::Tuple(1) => arms.push_str(&format!(
+                        "{name}::{vname}(f0) => {{ let mut m = ::serde::json::Map::new(); \
+                         m.insert(\"{vname}\".to_string(), ::serde::Serialize::to_value(f0)); \
+                         {V}::Object(m) }},\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                        let vals: Vec<String> = binds
+                            .iter()
+                            .map(|b| format!("::serde::Serialize::to_value({b})"))
+                            .collect();
+                        arms.push_str(&format!(
+                            "{name}::{vname}({}) => {{ let mut m = ::serde::json::Map::new(); \
+                             m.insert(\"{vname}\".to_string(), {V}::Array(vec![{}])); \
+                             {V}::Object(m) }},\n",
+                            binds.join(", "),
+                            vals.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let binds = fields.join(", ");
+                        let mut inner = String::from(
+                            "let mut fm = ::serde::json::Map::new();\n",
+                        );
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(\"{f}\".to_string(), ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{ {inner} \
+                             let mut m = ::serde::json::Map::new(); \
+                             m.insert(\"{vname}\".to_string(), {V}::Object(fm)); \
+                             {V}::Object(m) }},\n"
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}\n}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> {V} {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+// ---- Deserialize ---------------------------------------------------------
+
+fn field_get(map: &str, f: &str, ctx: &str) -> String {
+    format!(
+        "::serde::Deserialize::from_value({map}.get(\"{f}\").unwrap_or(&{V}::Null))\
+         .map_err(|e| {E}::new(format!(\"{ctx}.{f}: {{e}}\")))?"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        ItemKind::Struct(Shape::Unit) => format!("{{ let _ = v; Ok({name}) }}"),
+        ItemKind::Struct(Shape::Tuple(1)) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        ItemKind::Struct(Shape::Tuple(n)) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "match v {{\n\
+                     {V}::Array(items) if items.len() == {n} => \
+                         Ok({name}({})),\n\
+                     other => Err({E}::mismatch(\"array of {n}\", other)),\n\
+                 }}",
+                items.join(", ")
+            )
+        }
+        ItemKind::Struct(Shape::Named(fields)) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: {}", field_get("m", f, name)))
+                .collect();
+            format!(
+                "match v {{\n\
+                     {V}::Object(m) => Ok({name} {{ {} }}),\n\
+                     other => Err({E}::mismatch(\"object\", other)),\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        ItemKind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for (vname, shape) in variants {
+                match shape {
+                    Shape::Unit => {
+                        unit_arms.push_str(&format!("\"{vname}\" => Ok({name}::{vname}),\n"));
+                        // Also accept the tagged form `{"Variant": null}`.
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => Ok({name}::{vname}),\n"
+                        ));
+                    }
+                    Shape::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)\
+                         .map_err(|e| {E}::new(format!(\"{name}::{vname}: {{e}}\")))?)),\n"
+                    )),
+                    Shape::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match inner {{\n\
+                                 {V}::Array(items) if items.len() == {n} => \
+                                     Ok({name}::{vname}({})),\n\
+                                 other => Err({E}::mismatch(\"array of {n}\", other)),\n\
+                             }},\n",
+                            items.join(", ")
+                        ));
+                    }
+                    Shape::Named(fields) => {
+                        let ctx = format!("{name}::{vname}");
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| format!("{f}: {}", field_get("fm", f, &ctx)))
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => match inner {{\n\
+                                 {V}::Object(fm) => Ok({name}::{vname} {{ {} }}),\n\
+                                 other => Err({E}::mismatch(\"object\", other)),\n\
+                             }},\n",
+                            inits.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!(
+                "match v {{\n\
+                     {V}::String(s) => match s.as_str() {{\n\
+                         {unit_arms}\n\
+                         other => Err({E}::new(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                     }},\n\
+                     {V}::Object(m) if m.len() == 1 => {{\n\
+                         let (tag, inner) = m.iter().next().unwrap();\n\
+                         let _ = inner; // all-unit enums never read the payload\n\
+                         match tag.as_str() {{\n\
+                             {tagged_arms}\n\
+                             other => Err({E}::new(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => Err({E}::mismatch(\"{name} variant\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &{V}) -> ::std::result::Result<Self, {E}> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn expand(input: TokenStream, which: fn(&Item) -> String) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => which(&item)
+            .parse()
+            .expect("serde_derive generated invalid Rust"),
+        Err(msg) => format!("::std::compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_serialize)
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, gen_deserialize)
+}

@@ -1,0 +1,182 @@
+//! Offline drop-in subset of `serde_json`, backed by the vendored serde's
+//! JSON value model: `Value`, `Map`, `json!`, `to_string`,
+//! `to_string_pretty`, `from_str`.
+
+pub use serde::json::{Error, Map, Value};
+
+/// Serialize any `Serialize` type to compact JSON text.
+pub fn to_string<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string())
+}
+
+/// Serialize any `Serialize` type to pretty (2-space indented) JSON text.
+pub fn to_string_pretty<T: serde::Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    Ok(value.to_value().to_json_string_pretty())
+}
+
+/// Parse JSON text into any `Deserialize` type.
+pub fn from_str<T: serde::Deserialize>(text: &str) -> Result<T, Error> {
+    T::from_value(&serde::json::parse(text)?)
+}
+
+/// Convert any `Serialize` type into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize + ?Sized>(value: &T) -> Result<Value, Error> {
+    Ok(value.to_value())
+}
+
+/// Convert a [`Value`] tree into any `Deserialize` type.
+pub fn from_value<T: serde::Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
+}
+
+/// Build a [`Value`] with JSON literal syntax, interpolating expressions.
+///
+/// A token-tree muncher in the style of upstream `serde_json`: object keys
+/// accumulate until `:`, values recurse (so nested `{}` / `[]` keep JSON
+/// semantics instead of parsing as Rust blocks), and interpolated
+/// expressions are serialized by reference.
+#[macro_export]
+macro_rules! json {
+    ($($tt:tt)+) => { $crate::json_internal!($($tt)+) };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_internal {
+    // ---- array munching: accumulate into [$($elems:expr,)*] ----
+    (@array [$($elems:expr,)*]) => {
+        ::std::vec![$($elems,)*]
+    };
+    (@array [$($elems:expr,)*] null $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(null),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] true $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(true),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] false $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!(false),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] [$($arr:tt)*] $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!([$($arr)*]),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] {$($obj:tt)*} $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!({$($obj)*}),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $next:expr, $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($next),] $($rest)*)
+    };
+    (@array [$($elems:expr,)*] $last:expr) => {
+        $crate::json_internal!(@array [$($elems,)* $crate::json_internal!($last),])
+    };
+    // A literal-form element leaves its comma in the stream; consume it.
+    (@array [$($elems:expr,)*] , $($rest:tt)*) => {
+        $crate::json_internal!(@array [$($elems,)*] $($rest)*)
+    };
+
+    // ---- object munching: @object map (key-so-far) (rest) (rest-copy) ----
+    (@object $object:ident () () ()) => {};
+    // Insert a completed (key, value) entry, then continue / finish.
+    (@object $object:ident [$($key:tt)+] ($value:expr) , $($rest:tt)*) => {
+        let _ = $object.insert(::std::string::String::from($($key)+), $value);
+        $crate::json_internal!(@object $object () ($($rest)*) ($($rest)*));
+    };
+    (@object $object:ident [$($key:tt)+] ($value:expr)) => {
+        let _ = $object.insert(::std::string::String::from($($key)+), $value);
+    };
+    // Value forms (checked before the generic expr rules so `{}`/`[]` stay JSON).
+    (@object $object:ident ($($key:tt)+) (: null $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(null)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: true $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(true)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: false $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!(false)) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: [$($arr:tt)*] $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!([$($arr)*])) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: {$($map:tt)*} $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!({$($map)*})) $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr , $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)) , $($rest)*);
+    };
+    (@object $object:ident ($($key:tt)+) (: $value:expr) $copy:tt) => {
+        $crate::json_internal!(@object $object [$($key)+] ($crate::json_internal!($value)));
+    };
+    // Not at a value yet: munch one token into the key accumulator.
+    (@object $object:ident ($($key:tt)*) ($tt:tt $($rest:tt)*) $copy:tt) => {
+        $crate::json_internal!(@object $object ($($key)* $tt) ($($rest)*) ($($rest)*));
+    };
+
+    // ---- primary forms ----
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {
+        $crate::Value::Array($crate::json_internal!(@array [] $($tt)+))
+    };
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {
+        $crate::Value::Object({
+            let mut object = $crate::Map::new();
+            $crate::json_internal!(@object object () ($($tt)+) ($($tt)+));
+            object
+        })
+    };
+    ($other:expr) => { $crate::value_from(&$other) };
+}
+
+/// `json!` interpolation helper: anything `Serialize` becomes a `Value`
+/// (taken by reference, so interpolating borrowed fields works).
+pub fn value_from<T: serde::Serialize + ?Sized>(value: &T) -> Value {
+    value.to_value()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_macro_shapes() {
+        let name = "axis";
+        let v = json!({
+            "title": name,
+            "n": 3,
+            "f": 2.5,
+            "flag": true,
+            "none": null,
+            "tags": ["a", "b",],
+            "nested": { "deep": [1, { "x": 0 }] },
+        });
+        assert_eq!(v["title"].as_str(), Some("axis"));
+        assert_eq!(v["n"], Value::Int(3));
+        assert_eq!(v["f"].as_f64(), Some(2.5));
+        assert_eq!(v["tags"].as_array().unwrap().len(), 2);
+        assert_eq!(v["nested"]["deep"][1]["x"], Value::Int(0));
+        assert_eq!(json!("bar"), Value::String("bar".into()));
+        assert_eq!(json!(7), Value::Int(7));
+    }
+
+    #[test]
+    fn to_string_round_trip() {
+        let v = json!({ "a": [1, 2.5, "x"], "b": null });
+        let s = to_string(&v).unwrap();
+        let back: Value = from_str(&s).unwrap();
+        assert_eq!(v, back);
+        let p = to_string_pretty(&v).unwrap();
+        assert!(p.contains('\n'));
+        let back: Value = from_str(&p).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn typed_round_trip() {
+        let xs: Vec<u32> = vec![1, 2, 3];
+        let s = to_string(&xs).unwrap();
+        let back: Vec<u32> = from_str(&s).unwrap();
+        assert_eq!(xs, back);
+    }
+}
