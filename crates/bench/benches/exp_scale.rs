@@ -47,8 +47,8 @@ fn bench(c: &mut Criterion) {
 
     // Correctness first: the engine under measurement must reproduce the
     // oracle exactly.
-    let oracle = sequential.synthesize_corpus_sequential(&corpus);
-    let fast = parallel.synthesize_corpus(&corpus);
+    let oracle = sequential.synthesize_corpus_sequential(&corpus).bench;
+    let fast = parallel.synthesize_corpus(&corpus).bench;
     assert_eq!(oracle.pairs, fast.pairs, "parallel output diverged from the oracle");
     assert_eq!(oracle.vis_objects.len(), fast.vis_objects.len());
 

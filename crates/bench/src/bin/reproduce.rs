@@ -2,18 +2,29 @@
 //! combined report (tee it into EXPERIMENTS-style records):
 //!
 //! ```text
-//! cargo run -p nv-bench --release --bin reproduce              # everything
-//! cargo run -p nv-bench --release --bin reproduce -- quick     # quick scale
-//! cargo run -p nv-bench --release --bin reproduce -- data      # skip training
-//! cargo run -p nv-bench --release --bin reproduce -- threads=4 # parallel synthesis
+//! cargo run -p nv-bench --release --bin reproduce                  # everything
+//! cargo run -p nv-bench --release --bin reproduce -- quick         # quick scale
+//! cargo run -p nv-bench --release --bin reproduce -- data          # skip training
+//! cargo run -p nv-bench --release --bin reproduce -- threads=4     # parallel synthesis
+//! cargo run -p nv-bench --release --bin reproduce -- max_rows=1000000 fuel=10000000
+//! cargo run -p nv-bench --release --bin reproduce -- quarantine=quarantine.json
 //! ```
 //!
 //! `threads=N` runs corpus synthesis on N worker threads (default: all
 //! available cores). The synthesized benchmark is bit-identical for any N.
+//!
+//! `max_rows=N` / `fuel=N` tighten the executor's resource budget (rows a
+//! single operator may materialize / total row-visits per query); pairs
+//! that blow the budget are quarantined instead of stalling the run.
+//! `quarantine=PATH` writes the quarantine ledger as a JSON array of
+//! `{pair_id, db_name, stage, error_kind, error, elapsed_us}` objects
+//! (default: `quarantine.json` next to the other outputs whenever any pair
+//! was quarantined).
 
 use nv_bench::experiments::*;
 use nv_bench::{Context, Scale};
 use nvbench::core::SynthesizerConfig;
+use nvbench::data::ExecBudget;
 use std::time::Instant;
 
 fn main() {
@@ -26,10 +37,27 @@ fn main() {
         .unwrap_or_else(|| {
             std::thread::available_parallelism().map_or(1, |n| n.get())
         });
+    let arg_num = |key: &str| {
+        args.iter().find_map(|a| a.strip_prefix(key).and_then(|n| n.parse::<u64>().ok()))
+    };
+    let mut budget = ExecBudget::default();
+    if let Some(n) = arg_num("max_rows=") {
+        budget.max_rows = n as usize;
+    }
+    if let Some(n) = arg_num("fuel=") {
+        budget.fuel = n;
+    }
+    let quarantine_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("quarantine=").map(str::to_string))
+        .unwrap_or_else(|| "quarantine.json".to_string());
 
     let t0 = Instant::now();
     println!("=== nvBench reproduction — scale {scale:?}, {threads} synthesis thread(s) ===\n");
-    let ctx = &Context::build_with(scale, SynthesizerConfig { threads, ..Default::default() });
+    let ctx = &Context::build_with(
+        scale,
+        SynthesizerConfig { threads, budget, ..Default::default() },
+    );
     println!(
         "[setup] corpus: {} databases, {} (nl,sql) pairs → benchmark: {} vis, {} (nl,vis) pairs ({:.1}s)\n",
         ctx.corpus.databases.len(),
@@ -38,6 +66,25 @@ fn main() {
         ctx.bench.pairs.len(),
         t0.elapsed().as_secs_f64()
     );
+    if !ctx.quarantine.is_empty() {
+        println!(
+            "[quarantine] {} pair(s) failed synthesis and were isolated:",
+            ctx.quarantine.len()
+        );
+        for q in ctx.quarantine.iter().take(10) {
+            println!("  pair {} (db {}) at {}: {}", q.pair_id, q.db_name, q.stage.label(), q.error);
+        }
+        if ctx.quarantine.len() > 10 {
+            println!("  … and {} more", ctx.quarantine.len() - 10);
+        }
+        match serde_json::to_string_pretty(&ctx.quarantine) {
+            Ok(json) => match std::fs::write(&quarantine_path, json) {
+                Ok(()) => println!("[quarantine] ledger written to {quarantine_path}\n"),
+                Err(e) => println!("[quarantine] could not write {quarantine_path}: {e}\n"),
+            },
+            Err(e) => println!("[quarantine] could not serialize ledger: {e}\n"),
+        }
+    }
 
     let section = |name: &str, body: String| {
         println!("----------------------------------------------------------------");

@@ -1,7 +1,7 @@
 //! Shared experiment context: the synthesized benchmark, splits, trained
 //! models and simulated studies, built once per scale and cached.
 
-use nvbench::core::{Nl2SqlToNl2Vis, NvBench, Split, SynthesizerConfig};
+use nvbench::core::{Nl2SqlToNl2Vis, NvBench, QuarantineEntry, Split, SynthesizerConfig};
 use nvbench::nn::ModelVariant;
 use nvbench::seq2vis::{Dataset, Seq2Vis, Seq2VisConfig};
 use nvbench::spider::{CorpusConfig, SpiderCorpus};
@@ -75,6 +75,8 @@ pub struct Context {
     pub corpus: SpiderCorpus,
     pub bench: NvBench,
     pub split: Split,
+    /// Input pairs the synthesizer quarantined (empty on a healthy corpus).
+    pub quarantine: Vec<QuarantineEntry>,
 }
 
 impl Context {
@@ -104,9 +106,10 @@ impl Context {
         corpus.databases.push(covid);
 
         let synth = Nl2SqlToNl2Vis::new(cfg);
-        let bench = synth.synthesize_corpus(&corpus);
+        let synthesis = synth.synthesize_corpus(&corpus);
+        let bench = synthesis.bench;
         let split = bench.split(42);
-        Context { corpus, bench, split }
+        Context { corpus, bench, split, quarantine: synthesis.quarantine }
     }
 
     /// Test-pair indices, capped per scale.

@@ -96,7 +96,7 @@ mod tests {
 
     fn bench() -> NvBench {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(19));
-        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench
     }
 
     #[test]

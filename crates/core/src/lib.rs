@@ -36,15 +36,27 @@
 
 pub mod benchmark;
 pub mod cost;
+pub mod error;
 pub mod io;
 pub mod par;
 pub mod pipeline;
 pub mod predictor;
 pub mod stats;
 
+/// Deterministic fault injection (re-export of the zero-dependency
+/// `nv-fault` crate, so sites in lower crates and tests here share one
+/// process-global plan).
+pub mod fault {
+    pub use nv_fault::*;
+}
+
 pub use benchmark::{NlVisPair, NvBench, Split, VisObject};
+pub use error::{NvError, NvErrorKind};
 pub use io::{from_json, to_json, IoError};
 pub use cost::{paper_reference_report, CostModel, CostReport};
-pub use pipeline::{Nl2SqlToNl2Vis, PairSynthesis, PipelineError, SynthesizerConfig};
+pub use pipeline::{
+    CorpusSynthesis, Nl2SqlToNl2Vis, PairSynthesis, PipelineError, QuarantineEntry,
+    SynthStage, SynthesizerConfig,
+};
 pub use predictor::Nl2VisPredictor;
 pub use stats::{column_census, size_histograms, table3, type_hardness_matrix, ChartTypeRow, ColumnCensus, DatasetStats};

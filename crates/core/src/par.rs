@@ -17,8 +17,11 @@
 //! * `std::thread::scope` lets workers borrow the input slice and the
 //!   closures directly — no `Arc`, no `'static` bounds.
 
+use std::cell::Cell;
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
+use std::time::Instant;
 
 /// Apply `work` to every item of `items` using up to `threads` workers,
 /// returning results in input order.
@@ -78,6 +81,182 @@ where
     slots
         .into_iter()
         .map(|s| s.expect("every index is processed exactly once"))
+        .collect()
+}
+
+/// The outcome of one item processed by [`map_ordered_isolated`]: the work
+/// closure's return value, or the message of the panic it was killed by,
+/// plus the wall-clock time the item took either way.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Isolated<R> {
+    /// `Ok` is the work's result; `Err` carries the caught panic's payload
+    /// (or a placeholder when the worker died before reaching the item).
+    pub result: Result<R, String>,
+    /// Wall-clock time spent on this item, in microseconds.
+    pub elapsed_us: u64,
+}
+
+thread_local! {
+    /// Set while a worker runs one item inside `catch_unwind`, so the
+    /// chained panic hook stays silent for panics we capture and report.
+    static CAPTURING: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once, process-wide) a panic hook that suppresses the default
+/// stderr backtrace for panics occurring inside [`map_ordered_isolated`]
+/// items — they are caught and surfaced in the return value, so the noise
+/// would be duplicate and, under fault injection, overwhelming. Panics on
+/// any other thread still reach the previously installed hook.
+fn install_capturing_hook() {
+    static ONCE: std::sync::Once = std::sync::Once::new();
+    ONCE.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !CAPTURING.with(|c| c.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Render a caught panic payload as a message string.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "panic with non-string payload".to_string()
+    }
+}
+
+/// Run `work` on one item with panic isolation: the panic (if any) is
+/// caught, its worker-private state is assumed poisoned and rebuilt by the
+/// caller, and the item reports `Err(message)` instead of killing the run.
+fn run_isolated<T, R, S>(
+    state: &mut S,
+    i: usize,
+    item: &T,
+    work: &(impl Fn(&mut S, usize, &T) -> R + Sync),
+) -> Isolated<R> {
+    let start = Instant::now();
+    CAPTURING.with(|c| c.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| work(state, i, item)));
+    CAPTURING.with(|c| c.set(false));
+    Isolated {
+        result: outcome.map_err(panic_message),
+        elapsed_us: start.elapsed().as_micros() as u64,
+    }
+}
+
+/// [`map_ordered`] with per-item panic isolation: a panicking item becomes
+/// `Err(panic message)` in its slot instead of tearing the run down, and
+/// every other item still produces its normal result.
+///
+/// Fault containment, in order of severity:
+/// * a panic inside `work` is caught per item (`catch_unwind`); the worker
+///   survives, but its private state — which the panic may have left
+///   half-updated — is discarded and rebuilt with `init()` before the next
+///   item;
+/// * if that re-`init` itself panics, the worker exits; the shared atomic
+///   queue means its remaining items are simply claimed by sibling workers
+///   (nothing is pre-assigned, so nothing is lost);
+/// * if *every* worker dies this way (or `init` fails at startup), unclaimed
+///   items report `Err` with a placeholder message rather than hanging.
+///
+/// Caught panics are reported in the return value, so the default panic
+/// hook's stderr print is suppressed for them (see
+/// [`install_capturing_hook`]); panics anywhere else in the process print
+/// as usual. Aborts — stack overflow, `panic = "abort"` — cannot be caught
+/// by design; callers must bound recursion themselves (the SQL parser's
+/// depth limit exists for exactly this reason).
+pub fn map_ordered_isolated<T, R, S, I, F>(
+    items: &[T],
+    threads: usize,
+    init: I,
+    work: F,
+) -> Vec<Isolated<R>>
+where
+    T: Sync,
+    R: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize, &T) -> R + Sync,
+{
+    install_capturing_hook();
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads == 1 {
+        let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
+            Ok(s) => Some(s),
+            Err(_) => None,
+        };
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let Some(st) = state.as_mut() else {
+                    return Isolated {
+                        result: Err("worker state initialization panicked".to_string()),
+                        elapsed_us: 0,
+                    };
+                };
+                let out = run_isolated(st, i, item, &work);
+                if out.result.is_err() {
+                    state = catch_unwind(AssertUnwindSafe(&init)).ok();
+                }
+                out
+            })
+            .collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, Isolated<R>)>();
+    let mut slots: Vec<Option<Isolated<R>>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, init, work) = (&next, &init, &work);
+            scope.spawn(move || {
+                let Ok(mut state) = catch_unwind(AssertUnwindSafe(init)) else {
+                    return; // siblings drain the queue
+                };
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= items.len() {
+                        break;
+                    }
+                    let out = run_isolated(&mut state, i, &items[i], work);
+                    let poisoned = out.result.is_err();
+                    if tx.send((i, out)).is_err() {
+                        break;
+                    }
+                    if poisoned {
+                        // The panic may have left the state half-updated;
+                        // rebuild it. If rebuilding panics too, this worker
+                        // retires and siblings take over.
+                        match catch_unwind(AssertUnwindSafe(init)) {
+                            Ok(s) => state = s,
+                            Err(_) => return,
+                        }
+                    }
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+
+    slots
+        .into_iter()
+        .map(|s| {
+            s.unwrap_or(Isolated {
+                result: Err("worker died before processing this item".to_string()),
+                elapsed_us: 0,
+            })
+        })
         .collect()
 }
 
@@ -145,5 +324,100 @@ mod tests {
         let items = [0usize, 1, 2, 1];
         let out = map_ordered(&items, 2, || (), |_, _, &i| base[i]);
         assert_eq!(out, vec![10, 20, 30, 20]);
+    }
+
+    #[test]
+    fn isolated_captures_panics_without_losing_other_items() {
+        let items: Vec<u32> = (0..50).collect();
+        for threads in [1, 4] {
+            let out = map_ordered_isolated(&items, threads, || (), |_, _, &x| {
+                if x % 7 == 3 {
+                    panic!("boom at {x}");
+                }
+                x * 2
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, iso) in out.iter().enumerate() {
+                let x = items[i];
+                match &iso.result {
+                    Ok(v) => {
+                        assert_ne!(x % 7, 3, "item {x} should have panicked");
+                        assert_eq!(*v, x * 2);
+                    }
+                    Err(m) => {
+                        assert_eq!(x % 7, 3, "item {x} should not have panicked");
+                        assert_eq!(m, &format!("boom at {x}"), "threads={threads}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_rebuilds_worker_state_after_a_panic() {
+        // State counts items since (re)init; a panic must reset the count,
+        // so no item after a panic ever observes stale state.
+        let items: Vec<u32> = (0..30).collect();
+        for threads in [1, 3] {
+            let out = map_ordered_isolated(
+                &items,
+                threads,
+                || 0usize,
+                |since_init, _, &x| {
+                    *since_init += 1;
+                    if x == 10 || x == 20 {
+                        panic!("die");
+                    }
+                    *since_init
+                },
+            );
+            // Items processed right after a panic see a freshly built state
+            // (count restarts at 1).
+            for (i, iso) in out.iter().enumerate() {
+                if let Ok(count) = iso.result {
+                    assert!(count >= 1 && count <= items.len(), "item {i}: {count}");
+                }
+            }
+            let panics = out.iter().filter(|o| o.result.is_err()).count();
+            assert_eq!(panics, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn isolated_matches_plain_map_when_nothing_panics() {
+        let items: Vec<u64> = (0..40).collect();
+        let plain = map_ordered(&items, 3, || (), |_, i, x| x.wrapping_mul(i as u64 + 1));
+        let iso = map_ordered_isolated(&items, 3, || (), |_, i, x| {
+            x.wrapping_mul(i as u64 + 1)
+        });
+        let unwrapped: Vec<u64> = iso.into_iter().map(|o| o.result.unwrap()).collect();
+        assert_eq!(plain, unwrapped);
+    }
+
+    #[test]
+    fn isolated_survives_init_panics() {
+        // An init that always panics must not hang or abort the run — every
+        // slot reports an error instead.
+        let items: Vec<u8> = vec![1, 2, 3];
+        for threads in [1, 2] {
+            let out = map_ordered_isolated(
+                &items,
+                threads,
+                || -> () { panic!("init dies") },
+                |_, _, &x| x,
+            );
+            assert_eq!(out.len(), 3);
+            assert!(out.iter().all(|o| o.result.is_err()), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn isolated_records_elapsed_time() {
+        let items = [1u8, 2];
+        let out = map_ordered_isolated(&items, 1, || (), |_, _, &x| {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+            x
+        });
+        assert!(out.iter().all(|o| o.elapsed_us >= 1_000), "{out:?}");
     }
 }

@@ -9,16 +9,18 @@
 //! benchmark with global vis deduplication.
 
 use crate::benchmark::{NlVisPair, NvBench, VisObject};
+use crate::error::{NvError, NvErrorKind};
 use crate::par;
 use nv_ast::Hardness;
-use nv_data::{Database, ExecCache};
+use nv_data::{Database, ExecBudget, ExecCache, ExecError};
 use nv_quality::DeepEyeFilter;
 use nv_spider::SpiderCorpus;
 use nv_sql::{parse_sql, SqlError};
 use nv_synth::{
-    filter_candidates, filter_candidates_cached, generate_candidates, FilterStats, GoodVis,
-    NlSynthesizer,
+    filter_candidates_budgeted, filter_candidates_cached_budgeted, generate_candidates,
+    FilterStats, GoodVis, NlSynthesizer,
 };
+use serde::Serialize;
 use std::collections::{HashMap, HashSet};
 
 /// Pipeline configuration.
@@ -33,11 +35,20 @@ pub struct SynthesizerConfig {
     /// thread). Output is bit-identical for any value: pairs are merged in
     /// input order and all randomness is seeded per pair.
     pub threads: usize,
+    /// Executor resource budget applied to every candidate execution. The
+    /// default is generous enough to be invisible on realistic corpora; a
+    /// pair that exhausts it is quarantined instead of hanging the run.
+    pub budget: ExecBudget,
 }
 
 impl Default for SynthesizerConfig {
     fn default() -> Self {
-        SynthesizerConfig { seed: 42, max_vis_per_pair: 3, threads: 1 }
+        SynthesizerConfig {
+            seed: 42,
+            max_vis_per_pair: 3,
+            threads: 1,
+            budget: ExecBudget::default(),
+        }
     }
 }
 
@@ -46,6 +57,11 @@ impl Default for SynthesizerConfig {
 pub enum PipelineError {
     Sql(SqlError),
     UnknownDatabase(String),
+    /// Candidate execution blew a resource budget or hit an internal
+    /// invariant violation — systemic, so the whole pair is abandoned.
+    Exec(ExecError),
+    /// A panic was caught while synthesizing the pair (payload message).
+    Panic(String),
 }
 
 impl std::fmt::Display for PipelineError {
@@ -53,6 +69,8 @@ impl std::fmt::Display for PipelineError {
         match self {
             PipelineError::Sql(e) => write!(f, "{e}"),
             PipelineError::UnknownDatabase(d) => write!(f, "unknown database '{d}'"),
+            PipelineError::Exec(e) => write!(f, "{e}"),
+            PipelineError::Panic(m) => write!(f, "caught panic: {m}"),
         }
     }
 }
@@ -62,6 +80,100 @@ impl std::error::Error for PipelineError {}
 impl From<SqlError> for PipelineError {
     fn from(e: SqlError) -> Self {
         PipelineError::Sql(e)
+    }
+}
+
+impl From<ExecError> for PipelineError {
+    fn from(e: ExecError) -> Self {
+        PipelineError::Exec(e)
+    }
+}
+
+impl PipelineError {
+    /// The pipeline stage the error surfaced in (recorded in quarantine).
+    pub fn stage(&self) -> SynthStage {
+        match self {
+            PipelineError::UnknownDatabase(_) => SynthStage::Lookup,
+            PipelineError::Sql(_) => SynthStage::Parse,
+            PipelineError::Exec(_) => SynthStage::Filter,
+            PipelineError::Panic(_) => SynthStage::Isolation,
+        }
+    }
+}
+
+/// Where in the per-pair pipeline a quarantined failure surfaced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize)]
+pub enum SynthStage {
+    /// Resolving the pair's database by name.
+    Lookup,
+    /// Parsing the pair's SQL into the unified AST.
+    Parse,
+    /// Executing and filtering candidate visualizations.
+    Filter,
+    /// A caught panic — the precise stage inside the pair is unknown; the
+    /// panic-isolation layer attributes it to the pair as a whole.
+    Isolation,
+}
+
+impl SynthStage {
+    /// Stable lower-snake-case label (what quarantine.json records).
+    pub fn label(self) -> &'static str {
+        match self {
+            SynthStage::Lookup => "lookup",
+            SynthStage::Parse => "parse",
+            SynthStage::Filter => "filter",
+            SynthStage::Isolation => "isolation",
+        }
+    }
+}
+
+/// One quarantined input pair: why it was dropped and what it cost.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct QuarantineEntry {
+    /// Id of the input (NL, SQL) pair in the source corpus.
+    pub pair_id: usize,
+    pub db_name: String,
+    pub stage: SynthStage,
+    /// Failure family from the workspace error taxonomy.
+    pub error_kind: NvErrorKind,
+    /// The rendered error (or panic payload) message.
+    pub error: String,
+    /// Wall-clock time spent on the pair before it failed, in microseconds.
+    pub elapsed_us: u64,
+}
+
+/// The result of corpus synthesis: the benchmark plus the fault ledger.
+///
+/// Every input pair is accounted for exactly once: it either contributed a
+/// digest in [`pair_digests`](CorpusSynthesis::pair_digests) (possibly an
+/// empty synthesis — digests exist even for pairs yielding zero vis) or an
+/// entry in [`quarantine`](CorpusSynthesis::quarantine), never both.
+#[derive(Debug, Clone)]
+pub struct CorpusSynthesis {
+    pub bench: NvBench,
+    /// Pairs that failed (bad SQL, blown budget, caught panic …), with the
+    /// stage, classified error, and elapsed time of each — in corpus order.
+    pub quarantine: Vec<QuarantineEntry>,
+    /// Per input pair (position `i` ↔ `corpus.pairs[i]`): a digest of the
+    /// pair's *pre-deduplication* synthesis output, or `None` if the pair
+    /// was quarantined. Because the benchmark applies global (db, VQL)
+    /// deduplication, a quarantined pair can shift which later pair "wins"
+    /// a duplicate vis — these digests let tests assert that clean pairs
+    /// are bit-identical between runs even when the quarantine set differs.
+    pub pair_digests: Vec<Option<u64>>,
+}
+
+impl CorpusSynthesis {
+    /// Count of quarantined pairs per error kind, in label order — the
+    /// one-line summary tools print after a run.
+    pub fn quarantine_summary(&self) -> Vec<(NvErrorKind, usize)> {
+        let mut counts: HashMap<NvErrorKind, usize> = HashMap::new();
+        for q in &self.quarantine {
+            *counts.entry(q.error_kind).or_default() += 1;
+        }
+        let mut out: Vec<(NvErrorKind, usize)> = counts.into_iter().collect();
+        out.sort_by_key(|(k, _)| k.label());
+        out
     }
 }
 
@@ -121,8 +233,14 @@ impl Nl2SqlToNl2Vis {
         let sql_tree = parse_sql(db, sql)?;
         let candidates = generate_candidates(db, &sql_tree);
         let (good, filter_stats) = match cache {
-            Some(c) => filter_candidates_cached(db, candidates, &self.filter, c),
-            None => filter_candidates(db, candidates, &self.filter),
+            Some(c) => filter_candidates_cached_budgeted(
+                db,
+                candidates,
+                &self.filter,
+                c,
+                self.cfg.budget,
+            )?,
+            None => filter_candidates_budgeted(db, candidates, &self.filter, self.cfg.budget)?,
         };
 
         // Rank survivors by filter score (carried from the filtering pass,
@@ -179,7 +297,8 @@ impl Nl2SqlToNl2Vis {
     }
 
     /// Drive the pipeline over a whole corpus, assembling the benchmark with
-    /// global (db, VQL) deduplication of vis objects.
+    /// global (db, VQL) deduplication of vis objects and a quarantine ledger
+    /// for every pair that failed.
     ///
     /// Pairs are synthesized by `cfg.threads` workers pulling from a shared
     /// work queue, each holding one [`ExecCache`] per database it touches;
@@ -187,33 +306,86 @@ impl Nl2SqlToNl2Vis {
     /// ids, dedup outcomes, NL variants — is bit-identical to
     /// [`synthesize_corpus_sequential`](Self::synthesize_corpus_sequential)
     /// for any thread count.
-    pub fn synthesize_corpus(&self, corpus: &SpiderCorpus) -> NvBench {
-        let results = par::map_ordered(
+    ///
+    /// Fault isolation: each pair runs under `catch_unwind`; a panicking
+    /// pair is quarantined (stage [`SynthStage::Isolation`]) and its
+    /// worker's caches are rebuilt, so one poisoned pair can never take
+    /// down the run or corrupt a neighbour's output.
+    pub fn synthesize_corpus(&self, corpus: &SpiderCorpus) -> CorpusSynthesis {
+        let results = par::map_ordered_isolated(
             &corpus.pairs,
             self.cfg.threads,
             HashMap::<String, ExecCache>::new,
             |caches, _i, pair| {
-                let db = corpus.database(&pair.db_name)?;
+                let db = corpus
+                    .database(&pair.db_name)
+                    .ok_or_else(|| PipelineError::UnknownDatabase(pair.db_name.clone()))?;
                 let cache = caches.entry(pair.db_name.clone()).or_default();
                 self.synthesize_pair_cached(db, &pair.nl, &pair.sql, pair.id as u64, cache)
-                    .ok()
             },
         );
-        self.assemble(corpus, results)
+        self.quarantine_and_assemble(corpus, results)
     }
 
     /// The single-threaded, uncached reference path — the oracle the
-    /// parallel engine is tested against.
-    pub fn synthesize_corpus_sequential(&self, corpus: &SpiderCorpus) -> NvBench {
-        let results = corpus
-            .pairs
-            .iter()
-            .map(|pair| {
-                let db = corpus.database(&pair.db_name)?;
-                self.synthesize_pair(db, &pair.nl, &pair.sql, pair.id as u64).ok()
-            })
-            .collect();
-        self.assemble(corpus, results)
+    /// parallel engine is tested against. Shares the isolation, quarantine,
+    /// and assembly code with [`synthesize_corpus`](Self::synthesize_corpus)
+    /// so the two cannot drift apart.
+    pub fn synthesize_corpus_sequential(&self, corpus: &SpiderCorpus) -> CorpusSynthesis {
+        let results = par::map_ordered_isolated(
+            &corpus.pairs,
+            1,
+            || (),
+            |_, _i, pair| {
+                let db = corpus
+                    .database(&pair.db_name)
+                    .ok_or_else(|| PipelineError::UnknownDatabase(pair.db_name.clone()))?;
+                self.synthesize_pair(db, &pair.nl, &pair.sql, pair.id as u64)
+            },
+        );
+        self.quarantine_and_assemble(corpus, results)
+    }
+
+    /// Classify per-pair outcomes into kept results + quarantine entries,
+    /// digest the kept ones, and assemble the benchmark.
+    fn quarantine_and_assemble(
+        &self,
+        corpus: &SpiderCorpus,
+        results: Vec<par::Isolated<Result<PairSynthesis, PipelineError>>>,
+    ) -> CorpusSynthesis {
+        let mut quarantine: Vec<QuarantineEntry> = Vec::new();
+        let mut pair_digests: Vec<Option<u64>> = Vec::with_capacity(results.len());
+        let mut kept: Vec<Option<PairSynthesis>> = Vec::with_capacity(results.len());
+
+        for (pair, iso) in corpus.pairs.iter().zip(results) {
+            let outcome = match iso.result {
+                Ok(r) => r,
+                Err(panic_msg) => Err(PipelineError::Panic(panic_msg)),
+            };
+            match outcome {
+                Ok(ps) => {
+                    pair_digests.push(Some(pair_digest(&ps)));
+                    kept.push(Some(ps));
+                }
+                Err(e) => {
+                    let stage = e.stage();
+                    let nv = NvError::from(e);
+                    quarantine.push(QuarantineEntry {
+                        pair_id: pair.id,
+                        db_name: pair.db_name.clone(),
+                        stage,
+                        error_kind: nv.kind(),
+                        error: nv.to_string(),
+                        elapsed_us: iso.elapsed_us,
+                    });
+                    pair_digests.push(None);
+                    kept.push(None);
+                }
+            }
+        }
+
+        let bench = self.assemble(corpus, kept);
+        CorpusSynthesis { bench, quarantine, pair_digests }
     }
 
     /// Merge per-pair results (in corpus order) into the benchmark with
@@ -251,6 +423,51 @@ impl Nl2SqlToNl2Vis {
 
         NvBench { databases: corpus.databases.clone(), vis_objects, pairs }
     }
+}
+
+/// Digest one pair's pre-deduplication synthesis output (FNV-1a over the
+/// kept VQL strings, scores, NL variants, manual flags, and filter stats).
+/// Two runs in which a pair saw identical inputs and took identical
+/// decisions produce the same digest — regardless of what *other* pairs did.
+fn pair_digest(ps: &PairSynthesis) -> u64 {
+    const BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x100_0000_01b3;
+    struct Fnv(u64);
+    impl Fnv {
+        fn bytes(&mut self, b: &[u8]) {
+            for &x in b {
+                self.0 ^= x as u64;
+                self.0 = self.0.wrapping_mul(PRIME);
+            }
+        }
+        fn u64(&mut self, v: u64) {
+            self.bytes(&v.to_le_bytes());
+        }
+        fn str(&mut self, s: &str) {
+            self.u64(s.len() as u64);
+            self.bytes(s.as_bytes());
+        }
+    }
+    let mut h = Fnv(BASIS);
+    h.u64(ps.outputs.len() as u64);
+    for (good, variants, manual) in &ps.outputs {
+        h.str(&good.candidate.tree.to_vql());
+        h.u64(good.score.to_bits());
+        h.u64(variants.len() as u64);
+        for v in variants {
+            h.str(v);
+        }
+        h.u64(*manual as u64);
+    }
+    for n in [
+        ps.filter_stats.total,
+        ps.filter_stats.kept,
+        ps.filter_stats.failed_exec,
+        ps.filter_stats.pruned,
+    ] {
+        h.u64(n as u64);
+    }
+    h.0
 }
 
 #[cfg(test)]
@@ -326,7 +543,12 @@ mod tests {
     fn corpus_synthesis_dedups_and_indexes() {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(3));
         let s = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
-        let bench = s.synthesize_corpus(&corpus);
+        let synthesis = s.synthesize_corpus(&corpus);
+        // Every input pair is accounted for exactly once.
+        assert_eq!(synthesis.pair_digests.len(), corpus.pairs.len());
+        let quarantined = synthesis.pair_digests.iter().filter(|d| d.is_none()).count();
+        assert_eq!(quarantined, synthesis.quarantine.len());
+        let bench = synthesis.bench;
         assert!(!bench.vis_objects.is_empty());
         assert!(bench.pairs.len() >= bench.vis_objects.len());
         // Dense ids.
@@ -353,8 +575,15 @@ mod tests {
         let s = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
         let a = s.synthesize_corpus(&corpus);
         let b = s.synthesize_corpus(&corpus);
-        assert_eq!(a.pairs, b.pairs);
-        assert_eq!(a.vis_objects.len(), b.vis_objects.len());
+        assert_eq!(a.bench.pairs, b.bench.pairs);
+        assert_eq!(a.bench.vis_objects.len(), b.bench.vis_objects.len());
+        assert_eq!(a.pair_digests, b.pair_digests);
+        // Quarantine is deterministic up to elapsed time.
+        let key = |q: &QuarantineEntry| (q.pair_id, q.stage, q.error_kind, q.error.clone());
+        assert_eq!(
+            a.quarantine.iter().map(key).collect::<Vec<_>>(),
+            b.quarantine.iter().map(key).collect::<Vec<_>>()
+        );
     }
 
     /// The tentpole guarantee: the parallel + cached engine reproduces the
@@ -366,7 +595,9 @@ mod tests {
             .synthesize_corpus_sequential(&corpus);
         for threads in [1, 4] {
             let cfg = SynthesizerConfig { threads, ..Default::default() };
-            let got = Nl2SqlToNl2Vis::new(cfg).synthesize_corpus(&corpus);
+            let synthesis = Nl2SqlToNl2Vis::new(cfg).synthesize_corpus(&corpus);
+            assert_eq!(synthesis.pair_digests, oracle.pair_digests, "threads={threads}");
+            let (got, oracle) = (&synthesis.bench, &oracle.bench);
             assert_eq!(got.pairs, oracle.pairs, "threads={threads}");
             assert_eq!(got.vis_objects.len(), oracle.vis_objects.len());
             for (a, b) in got.vis_objects.iter().zip(&oracle.vis_objects) {
@@ -422,5 +653,73 @@ mod tests {
         assert_sync::<SpiderCorpus>();
         assert_sync::<Nl2SqlToNl2Vis>();
         assert_sync::<Database>();
+    }
+
+    /// A corpus with poisoned pairs: the bad pairs land in quarantine with
+    /// the right stage and kind, the good pairs still synthesize, and the
+    /// accounting (digests + quarantine = corpus) balances.
+    #[test]
+    fn bad_pairs_are_quarantined_not_fatal() {
+        let mut corpus = SpiderCorpus::generate(&CorpusConfig::small(3));
+        let n = corpus.pairs.len();
+        assert!(n >= 2, "need at least two pairs");
+        corpus.pairs[0].sql = "SELECT FROM WHERE (((".to_string(); // parse failure
+        corpus.pairs[1].db_name = "no_such_db".to_string(); // lookup failure
+
+        for threads in [1, 4] {
+            let cfg = SynthesizerConfig { threads, ..Default::default() };
+            let out = Nl2SqlToNl2Vis::new(cfg).synthesize_corpus(&corpus);
+            assert_eq!(out.pair_digests.len(), n);
+            assert_eq!(out.quarantine.len(), 2, "threads={threads}");
+            assert_eq!(out.quarantine[0].pair_id, corpus.pairs[0].id);
+            assert_eq!(out.quarantine[0].stage, SynthStage::Parse);
+            assert_eq!(out.quarantine[0].error_kind, NvErrorKind::Parse);
+            assert_eq!(out.quarantine[1].pair_id, corpus.pairs[1].id);
+            assert_eq!(out.quarantine[1].stage, SynthStage::Lookup);
+            assert_eq!(out.quarantine[1].error_kind, NvErrorKind::Schema);
+            assert!(out.pair_digests[0].is_none());
+            assert!(out.pair_digests[1].is_none());
+            assert!(out.pair_digests[2..].iter().all(|d| d.is_some()));
+            assert!(!out.bench.vis_objects.is_empty());
+
+            let summary = out.quarantine_summary();
+            let total: usize = summary.iter().map(|(_, c)| c).sum();
+            assert_eq!(total, 2);
+        }
+    }
+
+    /// A starved executor budget quarantines the pair with a retryable
+    /// `ResourceExhausted` instead of hanging or panicking.
+    #[test]
+    fn exhausted_budget_quarantines_the_pair() {
+        let corpus = SpiderCorpus::generate(&CorpusConfig::small(2));
+        let cfg = SynthesizerConfig {
+            budget: nv_data::ExecBudget { fuel: 1, ..Default::default() },
+            ..Default::default()
+        };
+        let out = Nl2SqlToNl2Vis::new(cfg).synthesize_corpus(&corpus);
+        assert!(!out.quarantine.is_empty());
+        for q in &out.quarantine {
+            assert_eq!(q.stage, SynthStage::Filter);
+            assert_eq!(q.error_kind, NvErrorKind::ResourceExhausted);
+            assert!(q.error_kind.is_retryable());
+        }
+    }
+
+    /// Quarantine entries serialize to the documented JSON shape.
+    #[test]
+    fn quarantine_entry_serializes() {
+        let q = QuarantineEntry {
+            pair_id: 7,
+            db_name: "d".into(),
+            stage: SynthStage::Parse,
+            error_kind: NvErrorKind::Parse,
+            error: "boom".into(),
+            elapsed_us: 12,
+        };
+        let v = serde_json::to_value(&q).unwrap();
+        assert_eq!(v["pair_id"], serde_json::json!(7));
+        assert_eq!(v["stage"], serde_json::json!("Parse"));
+        assert_eq!(v["error_kind"], serde_json::json!("Parse"));
     }
 }

@@ -47,6 +47,11 @@ pub enum ExecError {
     TypeError(String),
     Unsupported(String),
     ArityMismatch { left: usize, right: usize },
+    /// An [`ExecBudget`] limit was hit (rows, subquery depth, or fuel).
+    /// Deliberately not retried: a pathological query stays pathological.
+    ResourceExhausted(String),
+    /// Invariant violation or injected fault — never expected in production.
+    Internal(String),
 }
 
 impl std::fmt::Display for ExecError {
@@ -59,11 +64,105 @@ impl std::fmt::Display for ExecError {
             ExecError::ArityMismatch { left, right } => {
                 write!(f, "set-op arity mismatch: {left} vs {right}")
             }
+            ExecError::ResourceExhausted(m) => write!(f, "resource exhausted: {m}"),
+            ExecError::Internal(m) => write!(f, "internal error: {m}"),
         }
     }
 }
 
 impl std::error::Error for ExecError {}
+
+// ---- resource budgets ----------------------------------------------------
+
+/// Hard resource limits for one query execution. Every entry point threads a
+/// budget through the whole evaluation (joins, scans, grouping, subqueries);
+/// exceeding any limit aborts the query with
+/// [`ExecError::ResourceExhausted`] instead of hanging or exhausting memory.
+///
+/// The defaults are deliberately generous — far above anything a real corpus
+/// query needs — so they only trip on pathological inputs (e.g. unconstrained
+/// cross joins). Row limits are checked *before* materializing, which is what
+/// makes them an OOM guard rather than an after-the-fact diagnostic.
+///
+/// Fuel is charged per row actually visited, so a cached execution may spend
+/// less fuel than an uncached one for the same query; results are still
+/// identical, and a query within budget uncached is always within budget
+/// cached.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecBudget {
+    /// Max rows any intermediate relation may materialize (joins, scans,
+    /// set-op outputs).
+    pub max_rows: usize,
+    /// Max nesting depth of predicate subqueries.
+    pub max_subquery_depth: usize,
+    /// Total row-visit steps across the whole execution.
+    pub fuel: u64,
+}
+
+impl Default for ExecBudget {
+    fn default() -> ExecBudget {
+        ExecBudget { max_rows: 4_000_000, max_subquery_depth: 16, fuel: 50_000_000 }
+    }
+}
+
+impl ExecBudget {
+    /// No limits at all — pre-budget behaviour.
+    pub fn unlimited() -> ExecBudget {
+        ExecBudget { max_rows: usize::MAX, max_subquery_depth: usize::MAX, fuel: u64::MAX }
+    }
+}
+
+/// Budget accounting carried through one execution.
+struct Meter {
+    budget: ExecBudget,
+    fuel_used: u64,
+    depth: usize,
+}
+
+impl Meter {
+    fn new(budget: ExecBudget) -> Meter {
+        Meter { budget, fuel_used: 0, depth: 0 }
+    }
+
+    /// Spend `units` fuel (one unit ≈ one row visited).
+    fn charge(&mut self, units: u64) -> Result<(), ExecError> {
+        self.fuel_used = self.fuel_used.saturating_add(units);
+        if self.fuel_used > self.budget.fuel {
+            return Err(ExecError::ResourceExhausted(format!(
+                "fuel limit of {} steps exceeded",
+                self.budget.fuel
+            )));
+        }
+        Ok(())
+    }
+
+    /// Refuse to materialize `n` rows if over the row limit. Call *before*
+    /// allocating.
+    fn check_rows(&self, n: usize, what: &str) -> Result<(), ExecError> {
+        if n > self.budget.max_rows {
+            return Err(ExecError::ResourceExhausted(format!(
+                "{what} would materialize {n} rows (limit {})",
+                self.budget.max_rows
+            )));
+        }
+        Ok(())
+    }
+
+    fn enter_subquery(&mut self) -> Result<(), ExecError> {
+        self.depth += 1;
+        if self.depth > self.budget.max_subquery_depth {
+            return Err(ExecError::ResourceExhausted(format!(
+                "subquery depth {} exceeds limit {}",
+                self.depth, self.budget.max_subquery_depth
+            )));
+        }
+        Ok(())
+    }
+
+    fn exit_subquery(&mut self) {
+        self.depth = self.depth.saturating_sub(1);
+    }
+}
 
 /// The output of a query: named, typed columns plus rows.
 #[derive(Debug, Clone, PartialEq)]
@@ -191,26 +290,60 @@ struct GroupEntry {
     rows: Vec<usize>,
 }
 
-/// Execute a query against a database, ignoring any `Visualize` node.
+/// Execute a query against a database, ignoring any `Visualize` node. Uses
+/// the (generous) default [`ExecBudget`].
 pub fn execute(db: &Database, q: &VisQuery) -> Result<ResultSet, ExecError> {
-    Exec { cache: None }.set(db, &q.query)
+    execute_budgeted(db, q, ExecBudget::default())
+}
+
+/// [`execute`] with an explicit resource budget.
+pub fn execute_budgeted(
+    db: &Database,
+    q: &VisQuery,
+    budget: ExecBudget,
+) -> Result<ResultSet, ExecError> {
+    fault_check(q)?;
+    Exec { cache: None, meter: Meter::new(budget) }.set(db, &q.query)
 }
 
 /// Execute through a per-database [`ExecCache`]. Output is bit-identical to
 /// [`execute`]; repeated FROM/WHERE/GROUP fragments and subqueries are
-/// computed once.
+/// computed once. Uses the default [`ExecBudget`].
 pub fn execute_with_cache(
     db: &Database,
     q: &VisQuery,
     cache: &mut ExecCache,
 ) -> Result<ResultSet, ExecError> {
-    cache.bind(db);
-    Exec { cache: Some(cache) }.set(db, &q.query)
+    execute_with_cache_budgeted(db, q, cache, ExecBudget::default())
 }
 
-/// The execution driver: carries the optional cache through the recursion.
+/// [`execute_with_cache`] with an explicit resource budget.
+pub fn execute_with_cache_budgeted(
+    db: &Database,
+    q: &VisQuery,
+    cache: &mut ExecCache,
+    budget: ExecBudget,
+) -> Result<ResultSet, ExecError> {
+    fault_check(q)?;
+    cache.bind(db);
+    Exec { cache: Some(cache), meter: Meter::new(budget) }.set(db, &q.query)
+}
+
+/// The `data.exec` injection point. Keyed on the query's canonical debug
+/// form, so the same query fails on every run regardless of caching, thread
+/// scheduling, or call order. A single relaxed atomic load when disarmed.
+fn fault_check(q: &VisQuery) -> Result<(), ExecError> {
+    if nv_fault::armed() && nv_fault::fire("data.exec", nv_fault::key_str(&format!("{:?}", q.query))) {
+        return Err(ExecError::Internal("injected fault at data.exec".into()));
+    }
+    Ok(())
+}
+
+/// The execution driver: carries the optional cache and the budget meter
+/// through the recursion.
 struct Exec<'c> {
     cache: Option<&'c mut ExecCache>,
+    meter: Meter,
 }
 
 impl Exec<'_> {
@@ -226,6 +359,9 @@ impl Exec<'_> {
                         right: r.columns.len(),
                     });
                 }
+                self.meter.charge((l.rows.len() + r.rows.len()) as u64)?;
+                self.meter
+                    .check_rows(l.rows.len().saturating_add(r.rows.len()), "set operation")?;
                 // Move both row sets into hash sets — set semantics without
                 // cloning a single row.
                 let lset: HashSet<Vec<Value>> = l.rows.into_iter().collect();
@@ -267,7 +403,8 @@ impl Exec<'_> {
             }
             c.stats.scan_misses += 1;
         }
-        let rel = build_from(db, body)?;
+        let rel = build_from(db, body, &mut self.meter)?;
+        self.meter.charge(rel.rows.len() as u64)?;
         let mut kept: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
         for row in rel.rows.iter() {
             let keep = match where_p {
@@ -305,6 +442,7 @@ impl Exec<'_> {
             }
             c.stats.group_misses += 1;
         }
+        self.meter.charge(scan.rows.len() as u64)?;
 
         let key_idx: Vec<usize> = key_cols
             .iter()
@@ -444,6 +582,7 @@ impl Exec<'_> {
                 Some(s) => Some(col_idx(&scan.cols, &s.attr.col)?),
                 None => None,
             };
+            self.meter.charge(scan.rows.len() as u64)?;
             for row in &scan.rows {
                 let out: Vec<Value> = sel_idx.iter().map(|&i| row[i].clone()).collect();
                 out_rows.push((
@@ -495,28 +634,37 @@ impl Exec<'_> {
             Operand::Lit(l) => Ok(vec![Value::from_literal(l)]),
             Operand::List(ls) => Ok(ls.iter().map(Value::from_literal).collect()),
             Operand::Subquery(q) => {
-                let first_col = |rs: &ResultSet| -> Vec<Value> {
-                    rs.rows.iter().filter_map(|r| r.first().cloned()).collect()
-                };
-                if self.cache.is_none() {
-                    return Ok(first_col(&self.set(db, q)?));
-                }
-                let key = format!("{q:?}");
-                if let Some(c) = self.cache.as_deref_mut() {
-                    if let Some(rs) = c.results.get(&key) {
-                        c.stats.result_hits += 1;
-                        let rs = Arc::clone(rs);
-                        return Ok(first_col(&rs));
-                    }
-                    c.stats.result_misses += 1;
-                }
-                let rs = Arc::new(self.set(db, q)?);
-                if let Some(c) = self.cache.as_deref_mut() {
-                    c.results.insert(key, Arc::clone(&rs));
-                }
-                Ok(first_col(&rs))
+                // Depth is checked before the cache lookup so the limit trips
+                // identically with and without a warm cache.
+                self.meter.enter_subquery()?;
+                let r = self.subquery_values(db, q);
+                self.meter.exit_subquery();
+                r
             }
         }
+    }
+
+    fn subquery_values(&mut self, db: &Database, q: &SetQuery) -> Result<Vec<Value>, ExecError> {
+        let first_col = |rs: &ResultSet| -> Vec<Value> {
+            rs.rows.iter().filter_map(|r| r.first().cloned()).collect()
+        };
+        if self.cache.is_none() {
+            return Ok(first_col(&self.set(db, q)?));
+        }
+        let key = format!("{q:?}");
+        if let Some(c) = self.cache.as_deref_mut() {
+            if let Some(rs) = c.results.get(&key) {
+                c.stats.result_hits += 1;
+                let rs = Arc::clone(rs);
+                return Ok(first_col(&rs));
+            }
+            c.stats.result_misses += 1;
+        }
+        let rs = Arc::new(self.set(db, q)?);
+        if let Some(c) = self.cache.as_deref_mut() {
+            c.results.insert(key, Arc::clone(&rs));
+        }
+        Ok(first_col(&rs))
     }
 
     fn eval_pred_row(
@@ -692,12 +840,17 @@ fn load_table<'a>(db: &'a Database, name: &str) -> Result<Relation<'a>, ExecErro
     })
 }
 
-fn build_from<'a>(db: &'a Database, body: &QueryBody) -> Result<Relation<'a>, ExecError> {
+fn build_from<'a>(
+    db: &'a Database,
+    body: &QueryBody,
+    meter: &mut Meter,
+) -> Result<Relation<'a>, ExecError> {
     let first = body
         .from
         .first()
         .ok_or_else(|| ExecError::Unsupported("empty FROM".into()))?;
     let mut rel = load_table(db, first)?;
+    meter.check_rows(rel.rows.len(), "table scan")?;
     let mut joined: HashSet<String> = HashSet::new();
     joined.insert(first.to_lowercase());
 
@@ -716,9 +869,9 @@ fn build_from<'a>(db: &'a Database, body: &QueryBody) -> Result<Relation<'a>, Ex
             Some(j) => {
                 let (rel_side, new_side) =
                     if j.right.table.eq_ignore_ascii_case(table) { (&j.left, &j.right) } else { (&j.right, &j.left) };
-                hash_join(rel, right, rel_side, new_side)?
+                hash_join(rel, right, rel_side, new_side, meter)?
             }
-            None if body.joins.is_empty() => cross_join(rel, right),
+            None if body.joins.is_empty() => cross_join(rel, right, meter)?,
             None => {
                 return Err(ExecError::Unsupported(format!(
                     "no join condition connects table '{table}' (position {i})"
@@ -730,12 +883,21 @@ fn build_from<'a>(db: &'a Database, body: &QueryBody) -> Result<Relation<'a>, Ex
     Ok(rel)
 }
 
-fn cross_join<'a>(l: Relation<'a>, r: Relation<'a>) -> Relation<'a> {
+fn cross_join<'a>(
+    l: Relation<'a>,
+    r: Relation<'a>,
+    meter: &mut Meter,
+) -> Result<Relation<'a>, ExecError> {
+    // Check the product size before allocating anything: an unconstrained
+    // cross join is the classic memory bomb.
+    let product = l.rows.len().saturating_mul(r.rows.len());
+    meter.check_rows(product, "cross join")?;
+    meter.charge(product as u64)?;
     let mut cols = l.cols;
     cols.extend(r.cols);
     let mut types = l.types;
     types.extend(r.types);
-    let mut rows = Vec::with_capacity(l.rows.len() * r.rows.len());
+    let mut rows = Vec::with_capacity(product);
     for lr in l.rows.iter() {
         for rr in r.rows.iter() {
             let mut row = lr.clone();
@@ -743,7 +905,7 @@ fn cross_join<'a>(l: Relation<'a>, r: Relation<'a>) -> Relation<'a> {
             rows.push(row);
         }
     }
-    Relation { cols, types, rows: Rows::Owned(rows) }
+    Ok(Relation { cols, types, rows: Rows::Owned(rows) })
 }
 
 fn hash_join<'a>(
@@ -751,9 +913,11 @@ fn hash_join<'a>(
     r: Relation<'a>,
     lkey: &ColumnRef,
     rkey: &ColumnRef,
+    meter: &mut Meter,
 ) -> Result<Relation<'a>, ExecError> {
     let li = l.col_idx(lkey)?;
     let ri = r.col_idx(rkey)?;
+    meter.charge((l.rows.len() + r.rows.len()) as u64)?;
     let mut index: HashMap<&Value, Vec<usize>> = HashMap::new();
     for (i, row) in r.rows.iter().enumerate() {
         if !row[ri].is_null() {
@@ -763,6 +927,7 @@ fn hash_join<'a>(
     let mut rows = Vec::new();
     for lr in l.rows.iter() {
         if let Some(matches) = index.get(&lr[li]) {
+            meter.check_rows(rows.len().saturating_add(matches.len()), "hash join")?;
             for &m in matches {
                 let mut row = lr.clone();
                 row.extend(r.rows[m].iter().cloned());
@@ -1444,6 +1609,80 @@ mod tests {
         execute_with_cache(&a, &q, &mut cache).unwrap();
         let q2 = parse_vql_str("select t.x from t").unwrap();
         let _ = execute_with_cache(&b, &q2, &mut cache);
+    }
+
+    // ---- resource budgets ------------------------------------------------
+
+    fn assert_exhausted(r: Result<ResultSet, ExecError>, needle: &str) {
+        match r {
+            Err(ExecError::ResourceExhausted(m)) => {
+                assert!(m.contains(needle), "message '{m}' lacks '{needle}'")
+            }
+            other => panic!("expected ResourceExhausted({needle}), got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn row_limit_trips_on_scan() {
+        let q = parse_vql_str("select flight.fno from flight").unwrap();
+        let budget = ExecBudget { max_rows: 3, ..ExecBudget::default() };
+        // The flight table has 5 rows; a 3-row ceiling must refuse the scan.
+        assert_exhausted(execute_budgeted(&db(), &q, budget), "rows");
+    }
+
+    #[test]
+    fn row_limit_trips_on_join_before_materializing() {
+        // Self-join on destination: LA×LA(4) + NY×NY(4) + SF×SF(1) = 9 rows.
+        let q = parse_vql_str(
+            "select flight.fno from flight join flight on flight.destination = flight.destination",
+        )
+        .unwrap();
+        let budget = ExecBudget { max_rows: 6, ..ExecBudget::default() };
+        assert_exhausted(execute_budgeted(&db(), &q, budget), "rows");
+    }
+
+    #[test]
+    fn subquery_depth_limit_trips() {
+        let q = parse_vql_str(
+            "select flight.fno from flight where flight.price > \
+             ( select avg ( flight.price ) from flight where flight.price > \
+             ( select min ( flight.price ) from flight ) )",
+        )
+        .unwrap();
+        let shallow = ExecBudget { max_subquery_depth: 1, ..ExecBudget::default() };
+        assert_exhausted(execute_budgeted(&db(), &q, shallow), "depth");
+        // Depth 2 is exactly enough.
+        let deep = ExecBudget { max_subquery_depth: 2, ..ExecBudget::default() };
+        assert_eq!(execute_budgeted(&db(), &q, deep).unwrap().rows.len(), 2);
+        // The limit trips identically through a cache, warm or cold.
+        let mut cache = ExecCache::new();
+        for _ in 0..2 {
+            let r = execute_with_cache_budgeted(&db(), &q, &mut cache, shallow);
+            assert_exhausted(r, "depth");
+        }
+    }
+
+    #[test]
+    fn fuel_limit_trips() {
+        let q = parse_vql_str(
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination",
+        )
+        .unwrap();
+        let budget = ExecBudget { fuel: 3, ..ExecBudget::default() };
+        assert_exhausted(execute_budgeted(&db(), &q, budget), "fuel");
+    }
+
+    #[test]
+    fn default_budget_is_invisible() {
+        let q = parse_vql_str(
+            "select airport.city , count ( flight.* ) from flight \
+             join airport on flight.src = airport.id group by airport.city",
+        )
+        .unwrap();
+        let defaulted = execute_budgeted(&db(), &q, ExecBudget::default()).unwrap();
+        let unlimited = execute_budgeted(&db(), &q, ExecBudget::unlimited()).unwrap();
+        assert_eq!(defaulted, unlimited);
     }
 
     #[test]

@@ -37,8 +37,11 @@ pub mod schema;
 pub mod table;
 pub mod value;
 
-pub use csv::{table_from_csv, CsvError};
-pub use exec::{execute, execute_with_cache, CacheStats, ExecCache, ExecError, ResultSet};
+pub use csv::{table_from_csv, table_from_csv_lenient, CsvError, CsvLoadReport};
+pub use exec::{
+    execute, execute_budgeted, execute_with_cache, execute_with_cache_budgeted, CacheStats,
+    ExecBudget, ExecCache, ExecError, ResultSet,
+};
 pub use schema::{Column, ColumnType, ForeignKey, TableSchema};
 pub use table::{table_from, Database, Table};
 pub use value::{Timestamp, Value};

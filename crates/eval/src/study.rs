@@ -165,7 +165,7 @@ mod tests {
 
     fn bench() -> NvBench {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(17));
-        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench
     }
 
     #[test]

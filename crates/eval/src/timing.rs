@@ -80,7 +80,7 @@ mod tests {
     fn shape_matches_paper_figures() {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(13));
         let bench =
-            Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus);
+            Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench;
         let r = simulate_t3(&bench, 460, 42);
         assert_eq!(r.samples.len(), 460);
         assert!(r.min >= 37.0 && r.max <= 411.0);

@@ -2,7 +2,10 @@
 //! visualization spec.
 
 use nv_ast::{ChartType, VisQuery};
-use nv_data::{execute, execute_with_cache, ColumnType, Database, ExecCache, ExecError, ResultSet, Value};
+use nv_data::{
+    execute_budgeted, execute_with_cache_budgeted, ColumnType, Database, ExecBudget, ExecCache,
+    ExecError, ResultSet, Value,
+};
 
 /// Error producing chart data.
 #[derive(Debug, Clone, PartialEq)]
@@ -79,8 +82,17 @@ impl ChartData {
 /// For `GroupingScatter` the third select attribute is the categorical
 /// series even though x and y are both quantitative.
 pub fn chart_data(db: &Database, q: &VisQuery) -> Result<ChartData, RenderError> {
+    chart_data_budgeted(db, q, ExecBudget::default())
+}
+
+/// [`chart_data`] with an explicit executor resource budget.
+pub fn chart_data_budgeted(
+    db: &Database,
+    q: &VisQuery,
+    budget: ExecBudget,
+) -> Result<ChartData, RenderError> {
     let chart = q.chart.ok_or(RenderError::NotAVisQuery)?;
-    let rs = execute(db, q)?;
+    let rs = execute_budgeted(db, q, budget)?;
     chart_data_from_result(chart, &rs)
 }
 
@@ -91,8 +103,18 @@ pub fn chart_data_cached(
     q: &VisQuery,
     cache: &mut ExecCache,
 ) -> Result<ChartData, RenderError> {
+    chart_data_cached_budgeted(db, q, cache, ExecBudget::default())
+}
+
+/// [`chart_data_cached`] with an explicit executor resource budget.
+pub fn chart_data_cached_budgeted(
+    db: &Database,
+    q: &VisQuery,
+    cache: &mut ExecCache,
+    budget: ExecBudget,
+) -> Result<ChartData, RenderError> {
     let chart = q.chart.ok_or(RenderError::NotAVisQuery)?;
-    let rs = execute_with_cache(db, q, cache)?;
+    let rs = execute_with_cache_budgeted(db, q, cache, budget)?;
     chart_data_from_result(chart, &rs)
 }
 

@@ -32,6 +32,9 @@ pub mod chart;
 pub mod echarts;
 pub mod vegalite;
 
-pub use chart::{chart_data, chart_data_cached, chart_data_from_result, ChartData, ChartRow, RenderError};
+pub use chart::{
+    chart_data, chart_data_budgeted, chart_data_cached, chart_data_cached_budgeted,
+    chart_data_from_result, ChartData, ChartRow, RenderError,
+};
 pub use echarts::to_echarts;
 pub use vegalite::to_vega_lite;

@@ -84,7 +84,7 @@ mod tests {
 
     fn bench() -> NvBench {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(11));
-        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench
     }
 
     #[test]

@@ -302,7 +302,7 @@ mod tests {
 
     fn bench() -> NvBench {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(31));
-        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench
     }
 
     /// Pair indices whose NL text is unique benchmark-wide (the test oracle

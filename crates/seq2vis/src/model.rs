@@ -154,7 +154,7 @@ mod tests {
 
     fn bench() -> NvBench {
         let corpus = SpiderCorpus::generate(&CorpusConfig::small(21));
-        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+        Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench
     }
 
     #[test]

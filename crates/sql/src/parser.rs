@@ -44,11 +44,23 @@ impl From<LexError> for SqlError {
     }
 }
 
+/// Max combined nesting depth (parenthesized predicates + subqueries). Deep
+/// enough for any real corpus query, shallow enough that recursive descent
+/// can never overflow the stack — an overflow aborts the process, which no
+/// `catch_unwind` downstream could contain.
+const MAX_DEPTH: usize = 64;
+
 /// Parse a SQL string against a database schema into an SQL tree
 /// (a [`VisQuery`] with `chart == None`).
 pub fn parse_sql(db: &Database, sql: &str) -> Result<VisQuery, SqlError> {
+    // The `sql.parse` injection point: keyed on the SQL text, so the same
+    // statement fails deterministically on every run. One atomic load when
+    // disarmed.
+    if nv_fault::armed() && nv_fault::fire("sql.parse", nv_fault::key_str(sql)) {
+        return Err(SqlError::Parse { at: 0, message: "injected fault at sql.parse".into() });
+    }
     let tokens = lex(sql)?;
-    let mut p = SqlParser { toks: &tokens, pos: 0, db };
+    let mut p = SqlParser { toks: &tokens, pos: 0, db, depth: 0 };
     let query = p.parse_set_query()?;
     // Tolerate a trailing semicolon.
     if p.pos < p.toks.len() && p.toks[p.pos] == Token::Sym(";") {
@@ -64,6 +76,8 @@ struct SqlParser<'a> {
     toks: &'a [Token],
     pos: usize,
     db: &'a Database,
+    /// Current nesting depth (parens + subqueries), bounded by [`MAX_DEPTH`].
+    depth: usize,
 }
 
 /// Per-body context: FROM tables (real names) and alias → table mapping.
@@ -147,7 +161,25 @@ impl<'a> SqlParser<'a> {
         }
     }
 
+    /// Bump the nesting depth; errors instead of risking a stack overflow.
+    /// Callers decrement on the success path; on error the whole parse is
+    /// abandoned, so a stale count is harmless.
+    fn descend(&mut self) -> Result<(), SqlError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err(format!("nesting deeper than {MAX_DEPTH} levels")));
+        }
+        Ok(())
+    }
+
     fn parse_set_query(&mut self) -> Result<SetQuery, SqlError> {
+        self.descend()?;
+        let out = self.parse_set_query_inner();
+        self.depth -= 1;
+        out
+    }
+
+    fn parse_set_query_inner(&mut self) -> Result<SetQuery, SqlError> {
         let left = self.parse_body()?;
         let op = if self.eat_kw("union") {
             // Tolerate UNION ALL (treated as UNION; nvBench set semantics).
@@ -481,7 +513,9 @@ impl<'a> SqlParser<'a> {
         joins: &mut Vec<(RawRef, RawRef)>,
     ) -> Result<Option<Predicate>, SqlError> {
         if self.eat_sym("(") {
+            self.descend()?;
             let p = self.parse_or(scope, joins)?;
+            self.depth -= 1;
             self.expect_sym(")")?;
             return Ok(p);
         }
@@ -854,6 +888,60 @@ mod tests {
                 assert_eq!(s, "O'Neil")
             }
             other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn deep_paren_nesting_errors_instead_of_overflowing() {
+        // 64 parens is fine; 1000 must come back as a parse error — a stack
+        // overflow here would abort the whole process, past any catch_unwind.
+        let ok = format!(
+            "SELECT name FROM student WHERE {}age > 1{}",
+            "(".repeat(MAX_DEPTH - 1),
+            ")".repeat(MAX_DEPTH - 1)
+        );
+        assert!(parse_sql(&db(), &ok).is_ok());
+        let deep = format!(
+            "SELECT name FROM student WHERE {}age > 1{}",
+            "(".repeat(1000),
+            ")".repeat(1000)
+        );
+        let e = parse_sql(&db(), &deep).unwrap_err();
+        assert!(matches!(e, SqlError::Parse { .. }), "{e}");
+        assert!(e.to_string().contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn deep_subquery_nesting_errors_instead_of_overflowing() {
+        let mut sql = "SELECT name FROM student WHERE age > ".to_string();
+        for _ in 0..500 {
+            sql.push_str("(SELECT MAX(age) FROM student WHERE age > ");
+        }
+        sql.push('1');
+        sql.push_str(&")".repeat(500));
+        let e = parse_sql(&db(), &sql).unwrap_err();
+        assert!(matches!(e, SqlError::Parse { .. }), "{e}");
+        assert!(e.to_string().contains("nesting"), "{e}");
+    }
+
+    #[test]
+    fn truncated_inputs_error_cleanly() {
+        for sql in [
+            "",
+            "SELECT",
+            "SELECT name",
+            "SELECT name FROM",
+            "SELECT name FROM student WHERE age >",
+            "SELECT name FROM student WHERE age BETWEEN 1",
+            "SELECT name FROM student WHERE major IN (",
+            "SELECT name FROM student WHERE name LIKE",
+            "SELECT COUNT( FROM student",
+            "SELECT name FROM student ORDER",
+            "SELECT name FROM student LIMIT",
+            "SELECT name FROM student UNION",
+            "SELECT name FROM student WHERE name = 'unterminated",
+        ] {
+            assert!(parse_sql(&db(), sql).is_err(), "{sql:?} should not parse");
         }
     }
 

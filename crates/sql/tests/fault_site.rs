@@ -1,0 +1,53 @@
+//! The `sql.parse` injection point, exercised in its own test binary: the
+//! fault plan is process-global, so arming it must not share a process with
+//! tests that parse unrelated SQL.
+
+use nv_data::{table_from, ColumnType, Database, Value};
+use nv_sql::{parse_sql, SqlError};
+use std::sync::Mutex;
+
+// Both tests arm the process-global plan; never let them overlap.
+static ARM_LOCK: Mutex<()> = Mutex::new(());
+
+fn db() -> Database {
+    let mut db = Database::new("college", "College");
+    db.add_table(table_from(
+        "student",
+        &[("name", ColumnType::Categorical)],
+        vec![vec![Value::text("a")]],
+    ));
+    db
+}
+
+#[test]
+fn injected_parse_fault_is_a_typed_error() {
+    let _l = ARM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let db = db();
+    let sql = "SELECT name FROM student";
+    assert!(parse_sql(&db, sql).is_ok());
+
+    let guard = nv_fault::arm_scoped(nv_fault::FaultPlan::new(3).site("sql.parse", 1.0));
+    let e = parse_sql(&db, sql).unwrap_err();
+    assert!(matches!(e, SqlError::Parse { .. }), "{e}");
+    assert!(e.to_string().contains("injected fault at sql.parse"), "{e}");
+
+    // Disarmed again: the same statement parses.
+    drop(guard);
+    assert!(parse_sql(&db, sql).is_ok());
+}
+
+#[test]
+fn partial_probability_is_deterministic_per_statement() {
+    let _l = ARM_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let db = db();
+    let _guard = nv_fault::arm_scoped(nv_fault::FaultPlan::new(11).site("sql.parse", 0.5));
+    let statements: Vec<String> = (0..40)
+        .map(|i| format!("SELECT name FROM student LIMIT {i}"))
+        .collect();
+    let verdicts: Vec<bool> = statements.iter().map(|s| parse_sql(&db, s).is_ok()).collect();
+    // Decisions are keyed on the SQL text: re-running gives the same split.
+    let again: Vec<bool> = statements.iter().map(|s| parse_sql(&db, s).is_ok()).collect();
+    assert_eq!(verdicts, again);
+    assert!(verdicts.iter().any(|v| *v), "some statements must survive p=0.5");
+    assert!(verdicts.iter().any(|v| !*v), "some statements must fail p=0.5");
+}

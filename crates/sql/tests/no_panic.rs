@@ -1,0 +1,61 @@
+//! Robustness: `parse_sql` must never panic, whatever bytes it is fed.
+//!
+//! Three generators attack from different angles: raw character soup (lexer
+//! edge cases: unterminated strings, stray quotes, non-ASCII), SQL-ish token
+//! soup (parser edge cases: truncations, misplaced keywords), and mutated
+//! valid queries (deletions that truncate mid-clause).
+
+use nv_data::{table_from, ColumnType, Database, Value};
+use nv_sql::parse_sql;
+use proptest::prelude::*;
+
+fn db() -> Database {
+    let mut db = Database::new("college", "College");
+    db.add_table(table_from(
+        "student",
+        &[
+            ("id", ColumnType::Quantitative),
+            ("name", ColumnType::Categorical),
+            ("age", ColumnType::Quantitative),
+        ],
+        vec![vec![Value::Int(1), Value::text("a"), Value::Int(20)]],
+    ));
+    db
+}
+
+proptest! {
+    #[test]
+    fn arbitrary_chars_never_panic(chars in prop::collection::vec(any::<char>(), 0..200)) {
+        let s: String = chars.into_iter().collect();
+        let _ = parse_sql(&db(), &s);
+    }
+
+    #[test]
+    fn sqlish_token_soup_never_panics(
+        toks in prop::collection::vec(
+            prop::sample::select(vec![
+                "SELECT", "FROM", "WHERE", "GROUP", "BY", "ORDER", "HAVING",
+                "LIMIT", "JOIN", "ON", "AS", "AND", "OR", "NOT", "IN",
+                "BETWEEN", "LIKE", "UNION", "INTERSECT", "EXCEPT", "DISTINCT",
+                "COUNT", "AVG", "student", "name", "age", "student.name",
+                "(", ")", ",", "*", "=", ">", "<", ">=", "'txt", "'txt'",
+                "\"q", "42", "3.5", ";", ".",
+            ]),
+            0..40,
+        ),
+    ) {
+        let s = toks.join(" ");
+        let _ = parse_sql(&db(), &s);
+    }
+
+    #[test]
+    fn truncated_valid_queries_never_panic(cut in 0usize..200) {
+        let sql = "SELECT name, COUNT(*) FROM student WHERE age > 18 AND name LIKE 'a%' \
+                   GROUP BY name ORDER BY COUNT(*) DESC LIMIT 5";
+        let end = cut.min(sql.len());
+        // Respect char boundaries (the query is ASCII, but stay defensive).
+        if sql.is_char_boundary(end) {
+            let _ = parse_sql(&db(), &sql[..end]);
+        }
+    }
+}

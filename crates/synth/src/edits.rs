@@ -112,10 +112,12 @@ fn candidates_for_subset(
         }
     }
     // Drop an order that refers to a deleted attribute.
-    if let Some(o) = &inter.order {
-        let still_selected = inter.select.iter().any(|a| a.col == o.attr.col) || o.attr.is_aggregated();
-        if !still_selected {
-            edit.push(EditOp::DeleteOrder(inter.order.take().unwrap()));
+    let order_dangles = inter.order.as_ref().is_some_and(|o| {
+        !(inter.select.iter().any(|a| a.col == o.attr.col) || o.attr.is_aggregated())
+    });
+    if order_dangles {
+        if let Some(o) = inter.order.take() {
+            edit.push(EditOp::DeleteOrder(o));
         }
     }
 
@@ -170,18 +172,25 @@ fn candidates_for_subset(
         }
         // Three variables.
         ([a, b, c], _) if three_var_tqc(*a, *b, *c) => {
-            let t = types.iter().position(|t| *t == ColumnType::Temporal).unwrap();
-            let q = types.iter().position(|t| *t == ColumnType::Quantitative).unwrap();
-            let c_ix = (0..3).find(|i| *i != t && *i != q).unwrap();
-            for unit in [BinUnit::Year, BinUnit::Month] {
-                plans.extend(Plan::three_var(
-                    t,
-                    q,
-                    c_ix,
-                    Some(unit),
-                    aggregated[q],
-                    &[ChartType::GroupingLine, ChartType::StackedBar],
-                ));
+            // The guard proved one of each class exists; degrade to "no
+            // plans" rather than panic if that invariant ever slips.
+            let roles = (
+                types.iter().position(|t| *t == ColumnType::Temporal),
+                types.iter().position(|t| *t == ColumnType::Quantitative),
+            );
+            if let (Some(t), Some(q)) = roles {
+                if let Some(c_ix) = (0..3).find(|i| *i != t && *i != q) {
+                    for unit in [BinUnit::Year, BinUnit::Month] {
+                        plans.extend(Plan::three_var(
+                            t,
+                            q,
+                            c_ix,
+                            Some(unit),
+                            aggregated[q],
+                            &[ChartType::GroupingLine, ChartType::StackedBar],
+                        ));
+                    }
+                }
             }
         }
         ([ColumnType::Categorical, _, _], _) | ([_, _, ColumnType::Categorical], _) | ([_, ColumnType::Categorical, _], _)
@@ -190,16 +199,19 @@ fn candidates_for_subset(
                 && types.iter().filter(|t| **t == ColumnType::Quantitative).count() == 1 =>
         {
             // C + Q + C → stacked bar.
-            let q = types.iter().position(|t| *t == ColumnType::Quantitative).unwrap();
-            let cs: Vec<usize> = (0..3).filter(|i| *i != q).collect();
-            plans.extend(Plan::three_var(
-                cs[0],
-                q,
-                cs[1],
-                None,
-                aggregated[q],
-                &[ChartType::StackedBar],
-            ));
+            if let Some(q) = types.iter().position(|t| *t == ColumnType::Quantitative) {
+                let cs: Vec<usize> = (0..3).filter(|i| *i != q).collect();
+                if let [c0, c1] = cs.as_slice() {
+                    plans.extend(Plan::three_var(
+                        *c0,
+                        q,
+                        *c1,
+                        None,
+                        aggregated[q],
+                        &[ChartType::StackedBar],
+                    ));
+                }
+            }
         }
         ([_, _, _], _)
             if types.iter().filter(|t| **t == ColumnType::Quantitative).count() == 2
@@ -207,9 +219,12 @@ fn candidates_for_subset(
                 && !aggregated.iter().any(|a| *a) =>
         {
             // Q + Q + C → grouping scatter (raw points, C as series).
-            let c_ix = types.iter().position(|t| *t == ColumnType::Categorical).unwrap();
-            let qs: Vec<usize> = (0..3).filter(|i| *i != c_ix).collect();
-            plans.push(Plan::raw(vec![qs[0], qs[1], c_ix], ChartType::GroupingScatter));
+            if let Some(c_ix) = types.iter().position(|t| *t == ColumnType::Categorical) {
+                let qs: Vec<usize> = (0..3).filter(|i| *i != c_ix).collect();
+                if let [q0, q1] = qs.as_slice() {
+                    plans.push(Plan::raw(vec![*q0, *q1, c_ix], ChartType::GroupingScatter));
+                }
+            }
         }
         _ => {}
     }

@@ -3,9 +3,9 @@
 //! expert rules and the trained classifier; only good charts survive.
 
 use crate::edits::VisCandidate;
-use nv_data::{Database, ExecCache};
+use nv_data::{Database, ExecBudget, ExecCache, ExecError};
 use nv_quality::DeepEyeFilter;
-use nv_render::{chart_data, chart_data_cached, ChartData};
+use nv_render::{chart_data_budgeted, chart_data_cached_budgeted, ChartData, RenderError};
 
 /// A candidate that survived filtering, with its executed chart data.
 #[derive(Debug, Clone)]
@@ -28,13 +28,31 @@ pub struct FilterStats {
     pub pruned: usize,
 }
 
-/// Apply M(v) to every candidate, keeping the good ones.
+/// Apply M(v) to every candidate, keeping the good ones. Uses the default
+/// [`ExecBudget`].
+///
+/// Per-candidate execution failures (shape errors, unknown columns) are
+/// tolerated and counted in [`FilterStats::failed_exec`] — a bad candidate
+/// is just pruned. Only *systemic* failures abort the whole pass with `Err`:
+/// a blown resource budget ([`ExecError::ResourceExhausted`]) or an internal
+/// invariant violation ([`ExecError::Internal`]), both of which mean the
+/// pair itself is pathological and belongs in quarantine.
 pub fn filter_candidates(
     db: &Database,
     candidates: Vec<VisCandidate>,
     filter: &DeepEyeFilter,
-) -> (Vec<GoodVis>, FilterStats) {
-    filter_impl(db, candidates, filter, None)
+) -> Result<(Vec<GoodVis>, FilterStats), ExecError> {
+    filter_impl(db, candidates, filter, None, ExecBudget::default())
+}
+
+/// [`filter_candidates`] with an explicit executor resource budget.
+pub fn filter_candidates_budgeted(
+    db: &Database,
+    candidates: Vec<VisCandidate>,
+    filter: &DeepEyeFilter,
+    budget: ExecBudget,
+) -> Result<(Vec<GoodVis>, FilterStats), ExecError> {
+    filter_impl(db, candidates, filter, None, budget)
 }
 
 /// Like [`filter_candidates`] but executing candidates through a
@@ -45,8 +63,19 @@ pub fn filter_candidates_cached(
     candidates: Vec<VisCandidate>,
     filter: &DeepEyeFilter,
     cache: &mut ExecCache,
-) -> (Vec<GoodVis>, FilterStats) {
-    filter_impl(db, candidates, filter, Some(cache))
+) -> Result<(Vec<GoodVis>, FilterStats), ExecError> {
+    filter_impl(db, candidates, filter, Some(cache), ExecBudget::default())
+}
+
+/// [`filter_candidates_cached`] with an explicit executor resource budget.
+pub fn filter_candidates_cached_budgeted(
+    db: &Database,
+    candidates: Vec<VisCandidate>,
+    filter: &DeepEyeFilter,
+    cache: &mut ExecCache,
+    budget: ExecBudget,
+) -> Result<(Vec<GoodVis>, FilterStats), ExecError> {
+    filter_impl(db, candidates, filter, Some(cache), budget)
 }
 
 fn filter_impl(
@@ -54,15 +83,25 @@ fn filter_impl(
     candidates: Vec<VisCandidate>,
     filter: &DeepEyeFilter,
     mut cache: Option<&mut ExecCache>,
-) -> (Vec<GoodVis>, FilterStats) {
+    budget: ExecBudget,
+) -> Result<(Vec<GoodVis>, FilterStats), ExecError> {
     let mut stats = FilterStats { total: candidates.len(), ..Default::default() };
     let mut good = Vec::new();
     for candidate in candidates {
+        // The `synth.filter` injection point *panics* (keyed on the
+        // candidate's VQL) — it exercises the pipeline's catch_unwind
+        // isolation, unlike the parser/executor sites which return errors.
+        if nv_fault::armed() {
+            nv_fault::panic_if("synth.filter", nv_fault::key_str(&candidate.tree.to_vql()));
+        }
         let data = match cache.as_deref_mut() {
-            Some(c) => chart_data_cached(db, &candidate.tree, c),
-            None => chart_data(db, &candidate.tree),
+            Some(c) => chart_data_cached_budgeted(db, &candidate.tree, c, budget),
+            None => chart_data_budgeted(db, &candidate.tree, budget),
         };
         match data {
+            Err(RenderError::Exec(
+                e @ (ExecError::ResourceExhausted(_) | ExecError::Internal(_)),
+            )) => return Err(e),
             Err(_) => stats.failed_exec += 1,
             Ok(data) => {
                 let (is_good, score) = filter.evaluate(&data);
@@ -75,7 +114,7 @@ fn filter_impl(
             }
         }
     }
-    (good, stats)
+    Ok((good, stats))
 }
 
 #[cfg(test)]
@@ -114,7 +153,7 @@ mod tests {
             &good_db,
             &parse_vql_str("select t.cat , t.q from t").unwrap(),
         );
-        let (good, stats) = filter_candidates(&good_db, cands, &filter);
+        let (good, stats) = filter_candidates(&good_db, cands, &filter).unwrap();
         assert!(stats.kept > 0, "{stats:?}");
         assert_eq!(stats.total, stats.kept + stats.pruned + stats.failed_exec);
         assert!(!good.is_empty());
@@ -125,7 +164,7 @@ mod tests {
             &bad_db,
             &parse_vql_str("select t.cat from t").unwrap(),
         );
-        let (good, stats) = filter_candidates(&bad_db, cands, &filter);
+        let (good, stats) = filter_candidates(&bad_db, cands, &filter).unwrap();
         assert_eq!(good.len(), 0, "{stats:?}");
         assert!(stats.pruned > 0);
     }
@@ -138,9 +177,9 @@ mod tests {
             &d,
             &parse_vql_str("select t.cat , t.q from t").unwrap(),
         );
-        let (plain, s1) = filter_candidates(&d, cands.clone(), &filter);
+        let (plain, s1) = filter_candidates(&d, cands.clone(), &filter).unwrap();
         let mut cache = nv_data::ExecCache::new();
-        let (cached, s2) = filter_candidates_cached(&d, cands, &filter, &mut cache);
+        let (cached, s2) = filter_candidates_cached(&d, cands, &filter, &mut cache).unwrap();
         assert_eq!(s1, s2);
         assert_eq!(plain.len(), cached.len());
         for (a, b) in plain.iter().zip(&cached) {
@@ -155,10 +194,30 @@ mod tests {
         let filter = DeepEyeFilter::new(42);
         let d = db(5);
         let cands = generate_candidates(&d, &parse_vql_str("select t.cat from t").unwrap());
-        let (good, _) = filter_candidates(&d, cands, &filter);
+        let (good, _) = filter_candidates(&d, cands, &filter).unwrap();
         for g in &good {
             assert!(!g.data.rows.is_empty());
             assert_eq!(Some(g.data.chart), g.candidate.tree.chart);
         }
+    }
+
+    #[test]
+    fn exhausted_budget_aborts_the_pass() {
+        let filter = DeepEyeFilter::new(42);
+        let d = db(6);
+        let cands = generate_candidates(
+            &d,
+            &parse_vql_str("select t.cat , t.q from t").unwrap(),
+        );
+        assert!(!cands.is_empty());
+        // Starve the executor: the pass must surface ResourceExhausted
+        // rather than count every candidate as a routine exec failure.
+        let starved = ExecBudget { fuel: 1, ..ExecBudget::default() };
+        let e = filter_candidates_budgeted(&d, cands.clone(), &filter, starved).unwrap_err();
+        assert!(matches!(e, ExecError::ResourceExhausted(_)), "{e}");
+        let mut cache = nv_data::ExecCache::new();
+        let e = filter_candidates_cached_budgeted(&d, cands, &filter, &mut cache, starved)
+            .unwrap_err();
+        assert!(matches!(e, ExecError::ResourceExhausted(_)), "{e}");
     }
 }

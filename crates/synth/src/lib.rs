@@ -15,6 +15,9 @@ pub mod nledit;
 pub mod smoother;
 
 pub use edits::{attr_ctype, generate_candidates, VisCandidate};
-pub use filter::{filter_candidates, filter_candidates_cached, FilterStats, GoodVis};
+pub use filter::{
+    filter_candidates, filter_candidates_budgeted, filter_candidates_cached,
+    filter_candidates_cached_budgeted, FilterStats, GoodVis,
+};
 pub use nledit::{describe_data_part, NlResult, NlSynthesizer};
 pub use smoother::{normalize, smooth};

@@ -80,7 +80,9 @@ impl NlSynthesizer {
     /// One raw (pre-smoothing) variant: wrap the core with the chart phrase
     /// and append insertion phrases.
     fn one_variant(&mut self, core: &str, vis: &VisCandidate) -> String {
-        let chart = vis.tree.chart.expect("candidate is a VIS tree");
+        // Candidates are always VIS trees; fall back to Bar rather than
+        // panic if a caller ever hands in an unvisualized tree.
+        let chart = vis.tree.chart.unwrap_or(ChartType::Bar);
         let mut tail_phrases: Vec<String> = Vec::new();
         for op in vis.edit.insertions() {
             match op {

@@ -34,12 +34,14 @@ fn main() {
 
     println!("running nl2sql-to-nl2vis…");
     let synth = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
-    let bench = synth.synthesize_corpus(&corpus);
+    let synthesis = synth.synthesize_corpus(&corpus);
+    let bench = synthesis.bench;
     println!(
-        "  {} vis objects, {} (nl, vis) pairs ({:.2} variants/vis)\n",
+        "  {} vis objects, {} (nl, vis) pairs ({:.2} variants/vis), {} pairs quarantined\n",
         bench.vis_objects.len(),
         bench.pairs.len(),
-        bench.variants_per_vis()
+        bench.variants_per_vis(),
+        synthesis.quarantine.len()
     );
 
     // Table-2 style stats.

@@ -24,7 +24,7 @@ fn main() {
     corpus.databases.push(covid);
 
     println!("synthesizing the benchmark…");
-    let bench = Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus);
+    let bench = Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench;
     let split = bench.split(42);
     println!(
         "  {} vis, {} pairs ({} train)",

@@ -17,7 +17,7 @@ fn main() {
         seed: 42,
         query_cfg: Default::default(),
     });
-    let bench = Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus);
+    let bench = Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench;
     let split = bench.split(42);
     let test: Vec<usize> = split.test.iter().copied().take(150).collect();
     println!(

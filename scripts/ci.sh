@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# The repo's CI gate, runnable locally:
+#   1. release build of the whole workspace;
+#   2. full test suite (unit + integration + doctests);
+#   3. the fault-injection harness explicitly (its own process, since it
+#      arms the process-global fault plan);
+#   4. warnings-clean check (-D warnings) for the fault-isolation crates.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== [1/4] cargo build --release ==="
+cargo build --release
+
+echo "=== [2/4] cargo test -q ==="
+cargo test -q
+
+echo "=== [3/4] fault-injection harness ==="
+cargo test -q --test fault_injection
+
+echo "=== [4/4] warnings-clean (fault-isolation crates) ==="
+RUSTFLAGS="-D warnings" cargo check -q \
+  -p nv-fault -p nv-data -p nv-sql -p nv-render -p nv-synth -p nv-core
+
+echo "=== CI green ==="

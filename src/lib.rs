@@ -32,9 +32,12 @@
 //!
 //! // 1. Generate a (small) Spider-style NL2SQL corpus.
 //! let corpus = SpiderCorpus::generate(&CorpusConfig::small(42));
-//! // 2. Run the nl2sql-to-nl2vis synthesizer over it.
+//! // 2. Run the nl2sql-to-nl2vis synthesizer over it. The result carries
+//! //    the benchmark plus a quarantine ledger of any failed input pairs.
 //! let synth = Nl2SqlToNl2Vis::new(SynthesizerConfig::default());
-//! let bench = synth.synthesize_corpus(&corpus);
+//! let synthesis = synth.synthesize_corpus(&corpus);
+//! assert!(synthesis.quarantine.is_empty());
+//! let bench = synthesis.bench;
 //! assert!(bench.pairs.len() > bench.vis_objects.len());
 //! // 3. Render any vis to Vega-Lite.
 //! let vis = &bench.vis_objects[0];
@@ -62,8 +65,8 @@ pub use nv_synth as synth;
 pub mod prelude {
     pub use nv_ast::{ChartType, Hardness, VisQuery};
     pub use nv_core::{
-        CostModel, CostReport, Nl2SqlToNl2Vis, Nl2VisPredictor, NvBench, Split,
-        SynthesizerConfig,
+        CorpusSynthesis, CostModel, CostReport, Nl2SqlToNl2Vis, Nl2VisPredictor, NvBench,
+        QuarantineEntry, Split, SynthesizerConfig,
     };
     pub use nv_data::{execute, ColumnType, Database, Table, Value};
     pub use nv_nn::ModelVariant;

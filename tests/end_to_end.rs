@@ -13,7 +13,7 @@ fn small_bench(seed: u64) -> (SpiderCorpus, nvbench::core::NvBench) {
         seed,
         query_cfg: QueryGenConfig::default(),
     });
-    let bench = Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus);
+    let bench = Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench;
     (corpus, bench)
 }
 
