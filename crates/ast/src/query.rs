@@ -657,6 +657,42 @@ impl VisQuery {
     pub fn select_arity(&self) -> usize {
         self.query.primary().select.len()
     }
+
+    /// Lowercased names of every table this query can read: FROM lists of
+    /// all bodies, recursively including subqueries in filters. Qualifier
+    /// tables of column references are *not* included — execution resolves
+    /// columns against the FROM relation only, so a database restricted to
+    /// these tables behaves identically (used by the differential-test
+    /// shrinker to drop irrelevant tables from counterexamples).
+    pub fn referenced_tables(&self) -> Vec<String> {
+        fn walk_set(q: &SetQuery, out: &mut Vec<String>) {
+            for body in q.bodies() {
+                for t in &body.from {
+                    let t = t.to_lowercase();
+                    if !out.contains(&t) {
+                        out.push(t);
+                    }
+                }
+                if let Some(p) = &body.filter {
+                    p.for_each_leaf(&mut |leaf| {
+                        let operands: Vec<&Operand> = match leaf {
+                            Predicate::Cmp { rhs, .. } | Predicate::In { rhs, .. } => vec![rhs],
+                            Predicate::Between { low, high, .. } => vec![low, high],
+                            _ => vec![],
+                        };
+                        for o in operands {
+                            if let Operand::Subquery(sub) = o {
+                                walk_set(sub, out);
+                            }
+                        }
+                    });
+                }
+            }
+        }
+        let mut out = Vec::new();
+        walk_set(&self.query, &mut out);
+        out
+    }
 }
 
 #[cfg(test)]

@@ -192,6 +192,16 @@ impl ResultSet {
         };
         norm(self) == norm(other)
     }
+
+    /// Strict order-insensitive equality for differential testing: column
+    /// names, column types, and the row multiset must all match. Rows are
+    /// compared through the same float normalization as [`data_eq`]
+    /// (`Self::data_eq`) so an `Int`-path and a `Float`-path aggregate of
+    /// the same quantity agree, but unlike `data_eq` a renamed or retyped
+    /// column is a mismatch.
+    pub fn multiset_eq(&self, other: &ResultSet) -> bool {
+        self.columns == other.columns && self.types == other.types && self.data_eq(other)
+    }
 }
 
 fn norm_value(v: &Value) -> String {

@@ -1,0 +1,150 @@
+//! Golden corpus snapshots: freeze the observable output of full corpus
+//! synthesis — per-pair digests, hardness histogram, chart-type
+//! distribution, and every (db, chart, hardness, VQL) line — into a stable
+//! text format stored under `tests/golden/`. Any executor, filter, or edit
+//! change that silently shifts the benchmark fails the golden test with a
+//! readable line diff; intentional shifts are re-blessed via
+//! `scripts/ci.sh golden --bless`.
+
+use nv_ast::{ChartType, Hardness};
+use nv_core::{CorpusSynthesis, Nl2SqlToNl2Vis, SynthesizerConfig};
+use nv_spider::{CorpusConfig, SpiderCorpus};
+
+/// Synthesize the snapshot corpus for one seed: `CorpusConfig::small` input
+/// (4 databases × 12 pairs) through the default pipeline configuration.
+pub fn snapshot_synthesis(seed: u64) -> CorpusSynthesis {
+    let corpus = SpiderCorpus::generate(&CorpusConfig::small(seed));
+    Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus)
+}
+
+/// Render the full snapshot text for one seed. The format is line-oriented
+/// on purpose: every line is independently diffable, and the `vis` lines
+/// parse back with `splitn(5, " | ")` so tests can re-verify VQL strings
+/// from the snapshot itself.
+pub fn corpus_snapshot(seed: u64) -> String {
+    let synthesis = snapshot_synthesis(seed);
+    let bench = &synthesis.bench;
+    let mut s = String::new();
+    s.push_str("# Golden corpus snapshot — do not edit by hand.\n");
+    s.push_str("# Regenerate with: scripts/ci.sh golden --bless\n");
+    s.push_str(&format!("seed = {seed}\n"));
+    s.push_str(&format!("input_pairs = {}\n", synthesis.pair_digests.len()));
+    s.push_str(&format!("quarantined = {}\n", synthesis.quarantine.len()));
+    s.push_str(&format!("vis_objects = {}\n", bench.vis_objects.len()));
+    s.push_str(&format!("nl_vis_pairs = {}\n", bench.pairs.len()));
+
+    s.push_str("\n[hardness]\n");
+    for h in Hardness::ALL {
+        let n = bench.vis_objects.iter().filter(|v| v.hardness == h).count();
+        s.push_str(&format!("{} = {n}\n", h.name()));
+    }
+
+    s.push_str("\n[charts]\n");
+    for c in ChartType::ALL {
+        let n = bench.vis_objects.iter().filter(|v| v.chart == c).count();
+        s.push_str(&format!("{} = {n}\n", c.keyword()));
+    }
+
+    s.push_str("\n[pair_digests]\n");
+    for (i, d) in synthesis.pair_digests.iter().enumerate() {
+        match d {
+            Some(d) => s.push_str(&format!("{i} = {d:016x}\n")),
+            None => s.push_str(&format!("{i} = -\n")),
+        }
+    }
+
+    s.push_str("\n[vis]\n");
+    for v in &bench.vis_objects {
+        s.push_str(&format!(
+            "vis {} | {} | {} | {} | {}\n",
+            v.vis_id,
+            v.db_name,
+            v.chart.keyword(),
+            v.hardness.name(),
+            v.vql
+        ));
+    }
+    s
+}
+
+/// The `(db_name, chart, hardness, vql)` tuples recovered from a rendered
+/// snapshot's `vis` lines — the inverse of the `[vis]` section above, used
+/// by tests that re-parse and re-classify golden VQL strings.
+pub fn snapshot_vis_lines(snapshot: &str) -> Vec<(String, String, String, String)> {
+    snapshot
+        .lines()
+        .filter(|l| l.starts_with("vis "))
+        .filter_map(|l| {
+            let mut parts = l.splitn(5, " | ");
+            let _id = parts.next()?;
+            Some((
+                parts.next()?.to_string(),
+                parts.next()?.to_string(),
+                parts.next()?.to_string(),
+                parts.next()?.to_string(),
+            ))
+        })
+        .collect()
+}
+
+/// A compact, readable line diff between an expected and an actual
+/// snapshot: shows each differing line pairwise, plus length mismatch,
+/// capped at 30 entries.
+pub fn diff_lines(expected: &str, actual: &str) -> String {
+    let e: Vec<&str> = expected.lines().collect();
+    let a: Vec<&str> = actual.lines().collect();
+    let mut out = String::new();
+    let mut shown = 0;
+    for i in 0..e.len().max(a.len()) {
+        let el = e.get(i).copied();
+        let al = a.get(i).copied();
+        if el == al {
+            continue;
+        }
+        if shown == 30 {
+            out.push_str("  … (more differences elided)\n");
+            break;
+        }
+        shown += 1;
+        match (el, al) {
+            (Some(el), Some(al)) => {
+                out.push_str(&format!("  line {}:\n    - {el}\n    + {al}\n", i + 1));
+            }
+            (Some(el), None) => out.push_str(&format!("  line {}: - {el}\n", i + 1)),
+            (None, Some(al)) => out.push_str(&format!("  line {}: + {al}\n", i + 1)),
+            (None, None) => unreachable!(),
+        }
+    }
+    if out.is_empty() {
+        out.push_str("  (no line differences)\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        assert_eq!(corpus_snapshot(3), corpus_snapshot(3));
+    }
+
+    #[test]
+    fn snapshot_has_all_sections() {
+        let s = corpus_snapshot(3);
+        for needle in ["seed = 3", "[hardness]", "[charts]", "[pair_digests]", "[vis]"] {
+            assert!(s.contains(needle), "missing {needle:?} in snapshot");
+        }
+        assert!(!snapshot_vis_lines(&s).is_empty());
+    }
+
+    #[test]
+    fn diff_lines_pinpoints_changes() {
+        let d = diff_lines("a\nb\nc", "a\nX\nc");
+        assert!(d.contains("line 2"));
+        assert!(d.contains("- b"));
+        assert!(d.contains("+ X"));
+        assert_eq!(diff_lines("same", "same"), "  (no line differences)\n");
+    }
+}

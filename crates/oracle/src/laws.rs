@@ -1,0 +1,275 @@
+//! Metamorphic laws: algebraic identities the executor must satisfy with no
+//! reference oracle at all. Each law transforms a generated query into a
+//! variant whose result multiset is provably related to the original, runs
+//! both through `nv_data::execute`, and compares.
+//!
+//! A law is *skipped* (not violated) when either side errors: legal
+//! short-circuit semantics mean a transformed query may surface an error the
+//! original skipped (e.g. swapping `AND` operands stops hiding an erroring
+//! right-hand side), and error agreement is already the differential
+//! runner's job.
+
+use crate::gen;
+use crate::interp::split_where_having;
+use nv_ast::*;
+use nv_data::{execute, Database, ResultSet, Value};
+use nv_synth::strip_order;
+
+/// Outcome of one law over a batch of generated cases.
+#[derive(Debug, Clone)]
+pub struct LawReport {
+    pub name: &'static str,
+    /// Query pairs actually compared (law applied and both sides ran).
+    pub checked: usize,
+    /// Pairs where both sides errored or the law did not apply.
+    pub skipped: usize,
+    /// Violation descriptions (empty = law held everywhere it applied).
+    pub violations: Vec<String>,
+}
+
+impl LawReport {
+    fn new(name: &'static str) -> LawReport {
+        LawReport { name, checked: 0, skipped: 0, violations: Vec::new() }
+    }
+
+    pub fn held(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Check all laws over `cases` generated cases. Returns one report per law.
+pub fn run_laws(seed: u64, cases: usize) -> Vec<LawReport> {
+    let mut and_commute = LawReport::new("and-commute");
+    let mut union_commute = LawReport::new("union-commute");
+    let mut intersect_commute = LawReport::new("intersect-commute");
+    let mut except_self = LawReport::new("except-self-empty");
+    let mut limit_prefix = LawReport::new("limit-prefix");
+    let mut bin_cover = LawReport::new("bin-partition-cover");
+    let mut order_free = LawReport::new("order-insensitive");
+
+    for case in 0..cases {
+        let (db, queries) = gen::gen_case(seed, case);
+        let ctx = |qi: usize| format!("seed={seed} case={case} query={qi}");
+        for (qi, q) in queries.iter().enumerate() {
+            check_and_commute(&db, q, &mut and_commute, &ctx(qi));
+            check_set_commute(&db, q, &mut union_commute, &mut intersect_commute, &ctx(qi));
+            check_except_self(&db, q, &mut except_self, &ctx(qi));
+            check_limit_prefix(&db, q, &mut limit_prefix, &ctx(qi));
+            check_bin_cover(&db, q, &mut bin_cover, &ctx(qi));
+            check_order_free(&db, q, &mut order_free, &ctx(qi));
+        }
+    }
+
+    vec![
+        and_commute,
+        union_commute,
+        intersect_commute,
+        except_self,
+        limit_prefix,
+        bin_cover,
+        order_free,
+    ]
+}
+
+/// Both ran → compare; otherwise skip.
+fn compare_multisets(
+    a: Result<ResultSet, nv_data::ExecError>,
+    b: Result<ResultSet, nv_data::ExecError>,
+    strict_columns: bool,
+    report: &mut LawReport,
+    detail: &str,
+) {
+    match (a, b) {
+        (Ok(ra), Ok(rb)) => {
+            report.checked += 1;
+            let eq = if strict_columns { ra.multiset_eq(&rb) } else { ra.data_eq(&rb) };
+            if !eq {
+                report.violations.push(format!(
+                    "{detail}: {} rows vs {} rows\n  a: {:?}\n  b: {:?}",
+                    ra.rows.len(),
+                    rb.rows.len(),
+                    ra.rows.iter().take(6).collect::<Vec<_>>(),
+                    rb.rows.iter().take(6).collect::<Vec<_>>(),
+                ));
+            }
+        }
+        _ => report.skipped += 1,
+    }
+}
+
+/// `WHERE (p AND q)` ≡ `WHERE (q AND p)` as a multiset, for every body whose
+/// filter is a top-level conjunction.
+fn check_and_commute(db: &Database, q: &VisQuery, report: &mut LawReport, ctx: &str) {
+    let bodies = q.query.bodies();
+    for (bi, body) in bodies.iter().enumerate() {
+        let Some(Predicate::And(l, r)) = &body.filter else { continue };
+        let swapped = Predicate::And(r.clone(), l.clone());
+        let mut q2 = q.clone();
+        q2.query.bodies_mut()[bi].filter = Some(swapped);
+        compare_multisets(
+            execute(db, q),
+            execute(db, &q2),
+            true,
+            report,
+            &format!("{ctx} body={bi}"),
+        );
+    }
+}
+
+/// `A UNION B` ≡ `B UNION A` and `A INTERSECT B` ≡ `B INTERSECT A` as
+/// multisets (column names follow the left arm, so only row data compares).
+fn check_set_commute(
+    db: &Database,
+    q: &VisQuery,
+    union_report: &mut LawReport,
+    intersect_report: &mut LawReport,
+    ctx: &str,
+) {
+    let SetQuery::Compound { op, left, right } = &q.query else { return };
+    let report = match op {
+        SetOp::Union => union_report,
+        SetOp::Intersect => intersect_report,
+        SetOp::Except => return,
+    };
+    let swapped = VisQuery {
+        chart: q.chart,
+        query: SetQuery::Compound { op: *op, left: right.clone(), right: left.clone() },
+    };
+    compare_multisets(execute(db, q), execute(db, &swapped), false, report, ctx);
+}
+
+/// `A EXCEPT A` is empty for every body.
+fn check_except_self(db: &Database, q: &VisQuery, report: &mut LawReport, ctx: &str) {
+    let body = q.query.primary().clone();
+    let probe = VisQuery {
+        chart: None,
+        query: SetQuery::Compound {
+            op: SetOp::Except,
+            left: Box::new(body.clone()),
+            right: Box::new(body),
+        },
+    };
+    match execute(db, &probe) {
+        Ok(rs) => {
+            report.checked += 1;
+            if !rs.rows.is_empty() {
+                report.violations.push(format!(
+                    "{ctx}: A EXCEPT A returned {} rows: {:?}",
+                    rs.rows.len(),
+                    rs.rows.iter().take(6).collect::<Vec<_>>()
+                ));
+            }
+        }
+        Err(_) => report.skipped += 1,
+    }
+}
+
+/// With ORDER BY stripped, a `top/bottom k` result is the exact row-for-row
+/// prefix of the same query with `k + 1` (the superlative sorts, truncates,
+/// and nothing re-sorts afterwards).
+fn check_limit_prefix(db: &Database, q: &VisQuery, report: &mut LawReport, ctx: &str) {
+    let primary = q.query.primary();
+    let Some(sup) = &primary.superlative else { return };
+    let mut small = q.clone();
+    let mut big = q.clone();
+    for v in [&mut small, &mut big] {
+        for b in v.query.bodies_mut() {
+            b.order = None;
+        }
+    }
+    big.query.primary_mut().superlative = Some(Superlative { k: sup.k + 1, ..sup.clone() });
+    match (execute(db, &small), execute(db, &big)) {
+        (Ok(s), Ok(b)) => {
+            report.checked += 1;
+            if s.rows.as_slice() != &b.rows[..s.rows.len().min(b.rows.len())]
+                || s.rows.len() > b.rows.len()
+            {
+                report.violations.push(format!(
+                    "{ctx}: top-{} is not a prefix of top-{}\n  k:   {:?}\n  k+1: {:?}",
+                    sup.k,
+                    sup.k + 1,
+                    s.rows,
+                    b.rows
+                ));
+            }
+        }
+        _ => report.skipped += 1,
+    }
+}
+
+/// Binning partitions the scan: summing per-bin `COUNT(*)` over a query's
+/// FROM/JOIN/WHERE (HAVING dropped) equals the global `COUNT(*)` of the same
+/// scan — every input row lands in exactly one bin, including the NULL
+/// bucket.
+fn check_bin_cover(db: &Database, q: &VisQuery, report: &mut LawReport, ctx: &str) {
+    let body = q.query.primary();
+    let Some(bin) = body.group.as_ref().and_then(|g| g.bin.clone()) else { return };
+    let where_only = body.filter.clone().and_then(|p| split_where_having(p).0);
+    let count_star = Attr {
+        agg: AggFunc::Count,
+        col: ColumnRef::new(body.from[0].clone(), "*"),
+        distinct: false,
+    };
+    let base = QueryBody {
+        select: vec![count_star],
+        from: body.from.clone(),
+        joins: body.joins.clone(),
+        filter: where_only,
+        group: None,
+        order: None,
+        superlative: None,
+    };
+    let mut per_bin = base.clone();
+    per_bin.group = Some(GroupSpec { group_by: vec![], bin: Some(bin) });
+    let per_bin_q = VisQuery { chart: None, query: SetQuery::simple(per_bin) };
+    let global_q = VisQuery { chart: None, query: SetQuery::simple(base) };
+    match (execute(db, &per_bin_q), execute(db, &global_q)) {
+        (Ok(bins), Ok(global)) => {
+            report.checked += 1;
+            let sum: i64 = bins
+                .rows
+                .iter()
+                .map(|r| if let Some(Value::Int(n)) = r.first() { *n } else { 0 })
+                .sum();
+            let total = match global.rows.first().and_then(|r| r.first()) {
+                Some(Value::Int(n)) => *n,
+                _ => -1,
+            };
+            if sum != total {
+                report.violations.push(format!(
+                    "{ctx}: per-bin counts sum to {sum} but the scan has {total} rows \
+                     (bins: {:?})",
+                    bins.rows
+                ));
+            }
+        }
+        _ => report.skipped += 1,
+    }
+}
+
+/// Removing ORDER BY never changes *which* rows come back, only their
+/// sequence: `execute(q)` and `execute(strip_order(q))` agree as multisets.
+fn check_order_free(db: &Database, q: &VisQuery, report: &mut LawReport, ctx: &str) {
+    if q.query.bodies().iter().all(|b| b.order.is_none()) {
+        return;
+    }
+    compare_multisets(execute(db, q), execute(db, &strip_order(q)), true, report, ctx);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn laws_hold_on_small_batch() {
+        let reports = run_laws(0x1A55, 60);
+        assert_eq!(reports.len(), 7);
+        for r in &reports {
+            assert!(r.held(), "law '{}' violated:\n{}", r.name, r.violations.join("\n"));
+        }
+        // The batch must actually exercise a healthy majority of the laws —
+        // a law that never fires is not evidence.
+        let fired = reports.iter().filter(|r| r.checked > 0).count();
+        assert!(fired >= 5, "only {fired}/7 laws fired: {reports:?}");
+    }
+}

@@ -515,10 +515,37 @@ fn rebuild(sql: &VisQuery, primary: QueryBody, chart: ChartType) -> VisQuery {
     VisQuery::vis(chart, query)
 }
 
+/// The query with every ORDER BY removed, in all bodies of a compound.
+/// Ordering never changes *which* rows a query returns — only their
+/// sequence — so this edit preserves the result multiset exactly. The
+/// differential-oracle law layer uses it to check that the executor agrees,
+/// and NL edit generation uses the same invariant when pruning redundant
+/// sort phrases.
+pub fn strip_order(q: &VisQuery) -> VisQuery {
+    let mut out = q.clone();
+    for body in out.query.bodies_mut() {
+        body.order = None;
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use nv_data::{table_from, Value};
+
+    #[test]
+    fn strip_order_removes_every_order_clause() {
+        let q = nv_ast::tokens::parse_vql_str(
+            "select t.a from t order by t.a desc union select u.b from u order by u.b asc",
+        )
+        .unwrap();
+        let stripped = strip_order(&q);
+        assert!(stripped.query.bodies().iter().all(|b| b.order.is_none()));
+        // Nothing else moved.
+        assert_eq!(stripped.query.bodies()[0].select, q.query.bodies()[0].select);
+        assert_eq!(stripped.chart, q.chart);
+    }
 
     fn db() -> Database {
         let mut db = Database::new("d", "Demo");

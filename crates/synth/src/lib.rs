@@ -14,7 +14,7 @@ pub mod filter;
 pub mod nledit;
 pub mod smoother;
 
-pub use edits::{attr_ctype, generate_candidates, VisCandidate};
+pub use edits::{attr_ctype, generate_candidates, strip_order, VisCandidate};
 pub use filter::{
     filter_candidates, filter_candidates_budgeted, filter_candidates_cached,
     filter_candidates_cached_budgeted, FilterStats, GoodVis,

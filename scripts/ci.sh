@@ -1,24 +1,71 @@
 #!/usr/bin/env bash
-# The repo's CI gate, runnable locally:
-#   1. release build of the whole workspace;
-#   2. full test suite (unit + integration + doctests);
-#   3. the fault-injection harness explicitly (its own process, since it
-#      arms the process-global fault plan);
-#   4. warnings-clean check (-D warnings) for the fault-isolation crates.
+# The repo's CI gate, runnable locally. Stages:
+#
+#   scripts/ci.sh                  # everything (build, tests, faults,
+#                                  # warnings, differential, golden)
+#   scripts/ci.sh differential     # 5,000-case differential-oracle batch
+#   scripts/ci.sh golden           # verify golden corpus snapshots
+#   scripts/ci.sh golden --bless   # regenerate snapshots, then re-verify
+#
+# The differential stage runs every generated query through all four
+# executor entry points (plain, cache-cold, cache-warm, budgeted) against
+# the reference interpreter and fails on the first divergence; a failure
+# prints a shrunk counterexample with a `gen_case(seed, case)` repro line.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
-echo "=== [1/4] cargo build --release ==="
+stage="${1:-all}"
+
+run_differential() {
+  echo "=== differential oracle (5,000 seeded cases × 4 engines) ==="
+  DIFF_CASES=5000 cargo test --release -q --test differential_oracle
+}
+
+run_golden() {
+  if [[ "${1:-}" == "--bless" ]]; then
+    echo "=== golden snapshots: bless ==="
+    GOLDEN_BLESS=1 cargo test --release -q --test golden_snapshots
+    echo "=== golden snapshots: verify blessed files round-trip ==="
+  else
+    echo "=== golden snapshots: verify ==="
+  fi
+  cargo test --release -q --test golden_snapshots
+}
+
+case "$stage" in
+  differential)
+    run_differential
+    exit 0
+    ;;
+  golden)
+    run_golden "${2:-}"
+    exit 0
+    ;;
+  all) ;;
+  *)
+    echo "usage: scripts/ci.sh [all|differential|golden [--bless]]" >&2
+    exit 2
+    ;;
+esac
+
+echo "=== [1/6] cargo build --release ==="
 cargo build --release
 
-echo "=== [2/4] cargo test -q ==="
+echo "=== [2/6] cargo test -q ==="
 cargo test -q
 
-echo "=== [3/4] fault-injection harness ==="
+echo "=== [3/6] fault-injection harness ==="
 cargo test -q --test fault_injection
 
-echo "=== [4/4] warnings-clean (fault-isolation crates) ==="
+echo "=== [4/6] warnings-clean (fault-isolation + oracle crates) ==="
 RUSTFLAGS="-D warnings" cargo check -q \
-  -p nv-fault -p nv-data -p nv-sql -p nv-render -p nv-synth -p nv-core
+  -p nv-fault -p nv-data -p nv-sql -p nv-render -p nv-synth -p nv-core \
+  -p nv-oracle
+
+echo "=== [5/6] differential oracle ==="
+run_differential
+
+echo "=== [6/6] golden snapshots ==="
+run_golden
 
 echo "=== CI green ==="

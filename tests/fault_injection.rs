@@ -141,6 +141,48 @@ fn synthesis_under_faults_is_isolated_accounted_and_deterministic() {
     assert!(first.bench.vis_objects.len() < baseline.bench.vis_objects.len());
 }
 
+/// The differential oracle and an armed fault plan coexist: injected
+/// `data.exec` errors are classified as such (not as divergences), the
+/// remaining executions still agree with the reference interpreter, and the
+/// whole report is deterministic under a content-keyed plan.
+#[test]
+fn differential_oracle_coexists_with_armed_faults() {
+    use nvbench::oracle::{run_differential, DiffConfig};
+    let _lock = ARM_LOCK.lock().unwrap();
+
+    let run = || {
+        let _guard = fault::arm_scoped(FaultPlan::new(0xfau64).site("data.exec", 0.10));
+        run_differential(&DiffConfig::new(0xC0ED, 150))
+    };
+    let a = run();
+    assert!(a.is_clean(), "injected faults misread as divergences: {}", a.summary());
+    assert!(
+        a.injected_faults > 0,
+        "data.exec at p=0.10 never fired over {} executions",
+        a.executions
+    );
+    assert!(
+        a.agreements > a.injected_faults,
+        "almost everything faulted — differential signal lost: {}",
+        a.summary()
+    );
+
+    // Content-keyed injection ⇒ the same queries fault on every run.
+    let b = run();
+    assert_eq!(
+        (a.executions, a.agreements, a.agreed_errors, a.injected_faults),
+        (b.executions, b.agreements, b.agreed_errors, b.injected_faults),
+        "fault/oracle interaction is not deterministic"
+    );
+
+    // Disarmed, the very same batch is fault-free and fully clean.
+    fault::disarm();
+    let c = run_differential(&DiffConfig::new(0xC0ED, 150));
+    assert!(c.is_clean(), "{}", c.summary());
+    assert_eq!(c.injected_faults, 0);
+    assert!(c.agreements > a.agreements, "disarming should recover faulted executions");
+}
+
 #[test]
 fn disarmed_plan_costs_nothing_and_changes_nothing() {
     let _lock = ARM_LOCK.lock().unwrap();

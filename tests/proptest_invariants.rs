@@ -184,6 +184,143 @@ proptest! {
     }
 }
 
+// ---- promoted regressions ------------------------------------------------
+//
+// Shrunk failure cases that proptest once recorded in
+// `proptest_invariants.proptest-regressions` are promoted here as named
+// tests with the exact input inlined, so they run on every machine without
+// depending on proptest's seed-persistence format (the seed file is gone).
+
+fn pattr(agg: AggFunc, t: &str, c: &str) -> Attr {
+    Attr { agg, col: ColumnRef::new(t, c), distinct: false }
+}
+
+/// Promoted from the one recorded regression seed. The shrunk tree is a
+/// UNION whose right arm constrains a COUNT attr BETWEEN a text literal
+/// containing an embedded single quote (`%'J`) and a negative int, while
+/// the left arm mixes a numeric bin, NULL/bool BETWEEN bounds, and
+/// aggregated ORDER BY / superlative attrs that name tables absent from
+/// FROM. All three tree properties (token round trip, quote-safe string
+/// round trip, hardness stability) must hold on it.
+#[test]
+fn regression_union_with_embedded_quote_and_mixed_aggs_round_trips() {
+    let left = {
+        let mut b = QueryBody::simple("a", vec![pattr(AggFunc::None, "a", "a")]);
+        let eq_zero = || Predicate::Cmp {
+            op: CmpOp::Eq,
+            attr: pattr(AggFunc::None, "a", "a"),
+            rhs: Operand::Lit(Literal::Int(0)),
+        };
+        b.filter = Some(Predicate::Or(
+            Box::new(eq_zero()),
+            Box::new(Predicate::Or(
+                Box::new(eq_zero()),
+                Box::new(Predicate::Or(
+                    Box::new(Predicate::Like {
+                        attr: pattr(AggFunc::None, "e7f_", "j0p_976"),
+                        pattern: "q_%ed".into(),
+                        negated: false,
+                    }),
+                    Box::new(Predicate::Between {
+                        attr: pattr(AggFunc::Max, "v", "n__t_"),
+                        low: Operand::Lit(Literal::Null),
+                        high: Operand::Lit(Literal::Bool(true)),
+                    }),
+                )),
+            )),
+        ));
+        b.group = Some(GroupSpec {
+            group_by: vec![],
+            bin: Some(BinSpec {
+                col: ColumnRef::new("a", "q_lm"),
+                unit: BinUnit::Numeric { n_bins: 10 },
+            }),
+        });
+        b.order = Some(OrderSpec {
+            attr: pattr(AggFunc::Max, "gxy_7m_", "moue5"),
+            dir: OrderDir::Desc,
+        });
+        b.superlative = Some(Superlative {
+            dir: SuperDir::Most,
+            k: 2,
+            attr: pattr(AggFunc::Min, "y", "l81_f_20c"),
+        });
+        b
+    };
+    let right = {
+        let mut b = QueryBody::simple("d55w_0", vec![pattr(AggFunc::None, "w_", "kpv_f")]);
+        b.filter = Some(Predicate::Or(
+            Box::new(Predicate::Or(
+                Box::new(Predicate::And(
+                    Box::new(Predicate::Like {
+                        attr: pattr(AggFunc::Sum, "ov_74jp", "mdz0"),
+                        pattern: "_b%e_%".into(),
+                        negated: false,
+                    }),
+                    Box::new(Predicate::In {
+                        attr: pattr(AggFunc::Min, "p_ll_", "tdyn_ps"),
+                        rhs: Operand::List(vec![
+                            Literal::Null,
+                            Literal::Float(297_184.307_433_342_5),
+                        ]),
+                        negated: true,
+                    }),
+                )),
+                Box::new(Predicate::Cmp {
+                    op: CmpOp::Ne,
+                    attr: pattr(AggFunc::Avg, "f", "s_80"),
+                    rhs: Operand::Lit(Literal::Text(".ut6".into())),
+                }),
+            )),
+            Box::new(Predicate::And(
+                Box::new(Predicate::Like {
+                    attr: pattr(AggFunc::None, "c6", "sbm_e_l3_"),
+                    pattern: "hc".into(),
+                    negated: true,
+                }),
+                Box::new(Predicate::Between {
+                    attr: pattr(AggFunc::Count, "j", "fem27s9yh"),
+                    low: Operand::Lit(Literal::Text("%'J".into())),
+                    high: Operand::Lit(Literal::Int(-677_871_952)),
+                }),
+            )),
+        ));
+        b.group = Some(GroupSpec {
+            group_by: vec![ColumnRef::new("d55w_0", "y_vm0_4_")],
+            bin: None,
+        });
+        b.order = Some(OrderSpec {
+            attr: pattr(AggFunc::Sum, "j_", "h_5"),
+            dir: OrderDir::Asc,
+        });
+        b.superlative = Some(Superlative {
+            dir: SuperDir::Most,
+            k: 33,
+            attr: pattr(AggFunc::Count, "o", "*"),
+        });
+        b
+    };
+    let tree = VisQuery {
+        chart: None,
+        query: SetQuery::Compound {
+            op: SetOp::Union,
+            left: Box::new(left),
+            right: Box::new(right),
+        },
+    };
+
+    let tokens = tree.to_tokens();
+    let back = ast::parse_vql(&tokens).unwrap_or_else(|e| panic!("{e} on {}", tree.to_vql()));
+    assert_eq!(back, tree, "token round trip changed the AST");
+
+    let s = tree.to_vql();
+    let back2 = ast::parse_vql(&ast::tokens::tokenize_vql(&s))
+        .unwrap_or_else(|e| panic!("{e}: {s}"));
+    assert_eq!(back2, tree, "string round trip changed the AST");
+
+    assert_eq!(Hardness::of(&tree), Hardness::of(&back), "hardness unstable under re-parse");
+}
+
 // SQL round trip needs schema-valid queries; drive it from the executor's
 // demo database with constrained generators instead.
 fn demo_db() -> Database {
