@@ -1,0 +1,100 @@
+//! Serializer-layer canonicality for text literals containing quotes.
+//!
+//! PR 3's proptest regression (`%'J` inside a UNION tree) was pinned at the
+//! golden-corpus layer; these tests pin the same guarantee where it actually
+//! lives — `to_vql` → `tokenize_vql` → `parse_vql` must be the identity on
+//! the AST *and* re-serialize to the identical string, for every quoting
+//! shape a text literal can take.
+
+use nv_ast::query::*;
+use nv_ast::tokens::{parse_vql, parse_literal, tokenize_vql};
+
+fn query_with_filter(filter: Predicate) -> VisQuery {
+    let body = QueryBody {
+        select: vec![Attr::col("t", "a")],
+        from: vec!["t".into()],
+        joins: vec![],
+        filter: Some(filter),
+        group: None,
+        order: None,
+        superlative: None,
+    };
+    VisQuery::vis(ChartType::Bar, SetQuery::simple(body))
+}
+
+fn assert_canonical(q: &VisQuery) {
+    let vql = q.to_vql();
+    let toks = tokenize_vql(&vql);
+    assert_eq!(toks, q.to_tokens(), "tokenizer split differs from serializer tokens: {vql:?}");
+    let back = parse_vql(&toks).unwrap_or_else(|e| panic!("{e}: {vql:?}"));
+    assert_eq!(&back, q, "round trip changed the AST for {vql:?}");
+    assert_eq!(back.to_vql(), vql, "re-serialization is not canonical for {vql:?}");
+}
+
+/// The exact embedded-quote literal from the PR 3 proptest regression.
+#[test]
+fn embedded_quote_regression_literal_is_canonical() {
+    assert_canonical(&query_with_filter(Predicate::Between {
+        attr: Attr::col("t", "a"),
+        low: Operand::Lit(Literal::Text("%'J".into())),
+        high: Operand::Lit(Literal::Int(-677_871_952)),
+    }));
+}
+
+#[test]
+fn quoting_shapes_are_canonical_in_every_literal_position() {
+    let nasties = [
+        "", "'", "''", "'''", "a'", "'a", "a'b", "don't stop", "O'Hare",
+        "100% 'sure'", " ' ' ", "%'J", "x''y", "tab\there",
+    ];
+    for text in nasties {
+        let lit = || Operand::Lit(Literal::Text(text.to_string()));
+        assert_canonical(&query_with_filter(Predicate::Cmp {
+            op: CmpOp::Eq,
+            attr: Attr::col("t", "a"),
+            rhs: lit(),
+        }));
+        assert_canonical(&query_with_filter(Predicate::Like {
+            attr: Attr::col("t", "a"),
+            pattern: text.to_string(),
+            negated: true,
+        }));
+        assert_canonical(&query_with_filter(Predicate::In {
+            attr: Attr::col("t", "a"),
+            rhs: Operand::List(vec![
+                Literal::Text(text.to_string()),
+                Literal::Text(format!("{text}'{text}")),
+                Literal::Null,
+            ]),
+            negated: false,
+        }));
+    }
+}
+
+/// `Literal::to_token` and `parse_literal` are exact inverses on text.
+#[test]
+fn literal_token_is_invertible_on_text() {
+    let alphabet = ['\'', 'a', ' ', '%'];
+    let mut cases = vec![String::new()];
+    let mut frontier = vec![String::new()];
+    for _ in 0..4 {
+        let mut next = Vec::new();
+        for f in &frontier {
+            for c in alphabet {
+                let mut s = f.clone();
+                s.push(c);
+                next.push(s);
+            }
+        }
+        cases.extend(next.iter().cloned());
+        frontier = next;
+    }
+    for text in cases {
+        let tok = Literal::Text(text.clone()).to_token();
+        assert_eq!(
+            parse_literal(&tok),
+            Some(Literal::Text(text.clone())),
+            "token {tok:?} did not decode back to {text:?}"
+        );
+    }
+}

@@ -62,6 +62,34 @@ fn bench(c: &mut Criterion) {
         black_box(parallel.synthesize_corpus(&corpus));
     });
 
+    // One extra *traced* parallel run for stage/cache attribution. Tracing
+    // stays disarmed during every timed run above, so the probes cannot
+    // skew the throughput numbers they sit next to in the report.
+    nvbench::trace::reset();
+    nvbench::trace::enable();
+    black_box(parallel.synthesize_corpus(&corpus));
+    nvbench::trace::disable();
+    let trace = nvbench::trace::report();
+    nvbench::trace::reset();
+
+    let stage = |name: &str| {
+        let s = trace.span_stat(&format!("pair/{name}")).unwrap_or_default();
+        let mean_us =
+            if s.count == 0 { 0.0 } else { s.total_ns as f64 / s.count as f64 / 1e3 };
+        serde_json::json!({
+            "count": s.count,
+            "total_ms": s.total_ns as f64 / 1e6,
+            "mean_us": mean_us,
+        })
+    };
+    let cache_layer = |layer: &str| {
+        let hits = trace.counter(&format!("data.cache.{layer}.hits"));
+        let misses = trace.counter(&format!("data.cache.{layer}.misses"));
+        let total = hits + misses;
+        let rate = if total == 0 { 0.0 } else { hits as f64 / total as f64 };
+        serde_json::json!({ "hits": hits, "misses": misses, "hit_rate": rate })
+    };
+
     let pairs_per_sec = |t: f64| n_pairs as f64 / t;
     let speedup = t_seq / t_par;
     let report = serde_json::json!({
@@ -82,6 +110,23 @@ fn bench(c: &mut Criterion) {
             "secs": t_par,
             "pairs_per_sec": pairs_per_sec(t_par),
             "speedup_vs_sequential": speedup,
+        },
+        // From the separate traced run (not the timed ones): wall time per
+        // pipeline stage and executor-cache effectiveness, via nv-trace.
+        "traced_parallel_run": {
+            "stages": {
+                "parse": stage("parse"),
+                "edits": stage("edits"),
+                "filter": stage("filter"),
+                "nledit": stage("nledit"),
+            },
+            "cache_hit_rates": {
+                "scan": cache_layer("scan"),
+                "group": cache_layer("group"),
+                "result": cache_layer("result"),
+            },
+            "exec_fuel_used": trace.counter("data.exec.fuel_used"),
+            "exec_scan_rows": trace.counter("data.exec.scan_rows"),
         },
         "outputs_identical": true,
     });

@@ -8,6 +8,7 @@
 //! cargo run -p nv-bench --release --bin reproduce -- threads=4     # parallel synthesis
 //! cargo run -p nv-bench --release --bin reproduce -- max_rows=1000000 fuel=10000000
 //! cargo run -p nv-bench --release --bin reproduce -- quarantine=quarantine.json
+//! cargo run -p nv-bench --release --bin reproduce -- trace=trace.json
 //! ```
 //!
 //! `threads=N` runs corpus synthesis on N worker threads (default: all
@@ -20,6 +21,10 @@
 //! `{pair_id, db_name, stage, error_kind, error, elapsed_us}` objects
 //! (default: `quarantine.json` next to the other outputs whenever any pair
 //! was quarantined).
+//!
+//! `trace=PATH` arms the `nv-trace` observability layer for the corpus
+//! synthesis step and writes the aggregated report (executor counters,
+//! worker-pool gauges, per-stage span timings) as `nv-trace/v1` JSON.
 
 use nv_bench::experiments::*;
 use nv_bench::{Context, Scale};
@@ -51,13 +56,28 @@ fn main() {
         .iter()
         .find_map(|a| a.strip_prefix("quarantine=").map(str::to_string))
         .unwrap_or_else(|| "quarantine.json".to_string());
+    let trace_path = args
+        .iter()
+        .find_map(|a| a.strip_prefix("trace=").map(str::to_string));
 
     let t0 = Instant::now();
     println!("=== nvBench reproduction — scale {scale:?}, {threads} synthesis thread(s) ===\n");
+    if trace_path.is_some() {
+        nvbench::trace::enable();
+        nvbench::trace::reset();
+    }
     let ctx = &Context::build_with(
         scale,
         SynthesizerConfig { threads, budget, ..Default::default() },
     );
+    if let Some(path) = &trace_path {
+        nvbench::trace::disable();
+        let report = nvbench::trace::report();
+        match std::fs::write(path, report.to_json_string_pretty()) {
+            Ok(()) => println!("[trace] synthesis trace report written to {path}\n"),
+            Err(e) => println!("[trace] could not write {path}: {e}\n"),
+        }
+    }
     println!(
         "[setup] corpus: {} databases, {} (nl,sql) pairs → benchmark: {} vis, {} (nl,vis) pairs ({:.1}s)\n",
         ctx.corpus.databases.len(),

@@ -23,6 +23,68 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::time::Instant;
 
+/// Record the shape of one fan-out when tracing is armed.
+fn trace_job(items: usize, threads: usize) {
+    if nv_trace::enabled() {
+        nv_trace::count("par.jobs", 1);
+        nv_trace::count("par.tasks", items as u64);
+        nv_trace::gauge_max("par.threads", threads as u64);
+    }
+}
+
+/// Record how deep the shared queue still is at the moment index `i` is
+/// claimed. `gauge_max` keeps the peak, which for a fetch-add queue is the
+/// depth seen by the very first dequeue — but recording every claim keeps
+/// the probe honest if the scheduling strategy ever changes.
+fn trace_queue_depth(items: usize, i: usize) {
+    if nv_trace::enabled() {
+        nv_trace::gauge_max("par.queue.peak_depth", items.saturating_sub(i) as u64);
+    }
+}
+
+/// Times one work item and reports it both pool-wide (`par/task`) and
+/// per-worker (`par/worker<w>/task`) so skew between workers is visible.
+/// All cost is behind the armed check: disabled tracing takes no timestamp.
+struct TaskTimer {
+    start: Option<(Instant, usize)>,
+}
+
+impl TaskTimer {
+    fn start(worker: usize) -> Self {
+        Self {
+            start: nv_trace::enabled().then(|| (Instant::now(), worker)),
+        }
+    }
+
+    /// Report a measurement taken elsewhere (isolated items already time
+    /// themselves for `Isolated::elapsed_us`) without double-clocking.
+    fn report(worker: usize, elapsed_ns: u64) {
+        if nv_trace::enabled() {
+            nv_trace::record_span("par/task", elapsed_ns);
+            nv_trace::record_span(&format!("par/worker{worker}/task"), elapsed_ns);
+        }
+    }
+
+    fn finish(self) {
+        if let Some((start, worker)) = self.start {
+            Self::report(worker, start.elapsed().as_nanos() as u64);
+        }
+    }
+}
+
+/// Count a caught panic and (if the worker's private state was rebuilt or
+/// the worker retired) the replacement event that followed it.
+fn trace_panic_outcome(rebuilt: bool) {
+    if nv_trace::enabled() {
+        nv_trace::count("par.panics", 1);
+        if rebuilt {
+            nv_trace::count("par.worker_replacements", 1);
+        } else {
+            nv_trace::count("par.worker_retirements", 1);
+        }
+    }
+}
+
 /// Apply `work` to every item of `items` using up to `threads` workers,
 /// returning results in input order.
 ///
@@ -38,12 +100,18 @@ where
     F: Fn(&mut S, usize, &T) -> R + Sync,
 {
     let threads = threads.max(1).min(items.len().max(1));
+    trace_job(items.len(), threads);
     if threads == 1 {
         let mut state = init();
         return items
             .iter()
             .enumerate()
-            .map(|(i, item)| work(&mut state, i, item))
+            .map(|(i, item)| {
+                let timer = TaskTimer::start(0);
+                let r = work(&mut state, i, item);
+                timer.finish();
+                r
+            })
             .collect();
     }
 
@@ -53,17 +121,25 @@ where
     slots.resize_with(items.len(), || None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for w in 0..threads {
             let tx = tx.clone();
             let (next, init, work) = (&next, &init, &work);
             scope.spawn(move || {
+                // Flushing inside the closure (not from the TLS destructor,
+                // which is not ordered before the scoped join) makes the
+                // worker's trace data visible to a report taken right after
+                // this pool returns.
+                let _flush = nv_trace::flush_on_exit();
                 let mut state = init();
                 loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
                     if i >= items.len() {
                         break;
                     }
+                    trace_queue_depth(items.len(), i);
+                    let timer = TaskTimer::start(w);
                     let r = work(&mut state, i, &items[i]);
+                    timer.finish();
                     if tx.send((i, r)).is_err() {
                         break;
                     }
@@ -184,6 +260,7 @@ where
 {
     install_capturing_hook();
     let threads = threads.max(1).min(items.len().max(1));
+    trace_job(items.len(), threads);
     if threads == 1 {
         let mut state = match catch_unwind(AssertUnwindSafe(&init)) {
             Ok(s) => Some(s),
@@ -200,8 +277,10 @@ where
                     };
                 };
                 let out = run_isolated(st, i, item, &work);
+                TaskTimer::report(0, out.elapsed_us.saturating_mul(1_000));
                 if out.result.is_err() {
                     state = catch_unwind(AssertUnwindSafe(&init)).ok();
+                    trace_panic_outcome(state.is_some());
                 }
                 out
             })
@@ -214,10 +293,13 @@ where
     slots.resize_with(items.len(), || None);
 
     std::thread::scope(|scope| {
-        for _ in 0..threads {
+        for w in 0..threads {
             let tx = tx.clone();
             let (next, init, work) = (&next, &init, &work);
             scope.spawn(move || {
+                // See map_ordered: flush before the scoped join, on every
+                // exit path including retirement.
+                let _flush = nv_trace::flush_on_exit();
                 let Ok(mut state) = catch_unwind(AssertUnwindSafe(init)) else {
                     return; // siblings drain the queue
                 };
@@ -226,7 +308,9 @@ where
                     if i >= items.len() {
                         break;
                     }
+                    trace_queue_depth(items.len(), i);
                     let out = run_isolated(&mut state, i, &items[i], work);
+                    TaskTimer::report(w, out.elapsed_us.saturating_mul(1_000));
                     let poisoned = out.result.is_err();
                     if tx.send((i, out)).is_err() {
                         break;
@@ -236,8 +320,14 @@ where
                         // rebuild it. If rebuilding panics too, this worker
                         // retires and siblings take over.
                         match catch_unwind(AssertUnwindSafe(init)) {
-                            Ok(s) => state = s,
-                            Err(_) => return,
+                            Ok(s) => {
+                                state = s;
+                                trace_panic_outcome(true);
+                            }
+                            Err(_) => {
+                                trace_panic_outcome(false);
+                                return;
+                            }
                         }
                     }
                 }

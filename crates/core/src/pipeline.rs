@@ -230,17 +230,27 @@ impl Nl2SqlToNl2Vis {
         nl_seed: u64,
         cache: Option<&mut ExecCache>,
     ) -> Result<PairSynthesis, PipelineError> {
-        let sql_tree = parse_sql(db, sql)?;
-        let candidates = generate_candidates(db, &sql_tree);
-        let (good, filter_stats) = match cache {
-            Some(c) => filter_candidates_cached_budgeted(
-                db,
-                candidates,
-                &self.filter,
-                c,
-                self.cfg.budget,
-            )?,
-            None => filter_candidates_budgeted(db, candidates, &self.filter, self.cfg.budget)?,
+        let _pair = nv_trace::span("pair");
+        let sql_tree = {
+            let _s = nv_trace::span("parse");
+            parse_sql(db, sql)?
+        };
+        let candidates = {
+            let _s = nv_trace::span("edits");
+            generate_candidates(db, &sql_tree)
+        };
+        let (good, filter_stats) = {
+            let _s = nv_trace::span("filter");
+            match cache {
+                Some(c) => filter_candidates_cached_budgeted(
+                    db,
+                    candidates,
+                    &self.filter,
+                    c,
+                    self.cfg.budget,
+                )?,
+                None => filter_candidates_budgeted(db, candidates, &self.filter, self.cfg.budget)?,
+            }
         };
 
         // Rank survivors by filter score (carried from the filtering pass,
@@ -279,6 +289,7 @@ impl Nl2SqlToNl2Vis {
         }
 
         let mut synth = NlSynthesizer::new(self.cfg.seed ^ nl_seed);
+        let _nledit = nv_trace::span("nledit");
         let outputs = kept
             .into_iter()
             .map(|g| {
@@ -293,6 +304,7 @@ impl Nl2SqlToNl2Vis {
                 (g, variants, res.needs_manual_revision)
             })
             .collect();
+        drop(_nledit);
         Ok(PairSynthesis { outputs, filter_stats })
     }
 
@@ -362,6 +374,7 @@ impl Nl2SqlToNl2Vis {
                 Ok(r) => r,
                 Err(panic_msg) => Err(PipelineError::Panic(panic_msg)),
             };
+            nv_trace::count("synth.pairs", 1);
             match outcome {
                 Ok(ps) => {
                     pair_digests.push(Some(pair_digest(&ps)));
@@ -370,6 +383,9 @@ impl Nl2SqlToNl2Vis {
                 Err(e) => {
                     let stage = e.stage();
                     let nv = NvError::from(e);
+                    if nv_trace::enabled() {
+                        nv_trace::count(&format!("synth.quarantined.{}", nv.kind().label()), 1);
+                    }
                     quarantine.push(QuarantineEntry {
                         pair_id: pair.id,
                         db_name: pair.db_name.clone(),
@@ -421,6 +437,8 @@ impl Nl2SqlToNl2Vis {
             }
         }
 
+        nv_trace::count("synth.vis", vis_objects.len() as u64);
+        nv_trace::count("synth.nl", pairs.len() as u64);
         NvBench { databases: corpus.databases.clone(), vis_objects, pairs }
     }
 }

@@ -84,10 +84,11 @@ impl std::error::Error for ExecError {}
 /// cross joins). Row limits are checked *before* materializing, which is what
 /// makes them an OOM guard rather than an after-the-fact diagnostic.
 ///
-/// Fuel is charged per row actually visited, so a cached execution may spend
-/// less fuel than an uncached one for the same query; results are still
-/// identical, and a query within budget uncached is always within budget
-/// cached.
+/// Fuel is charged per row visited. Cache hits *replay* the charge the
+/// cached computation made when it was built (fuel and peak-row checks), so
+/// a warm execution reports exactly the same budget spend as a cold one and
+/// trips the same limits — the cache is a pure wall-clock optimization,
+/// invisible to budget accounting.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ExecBudget {
     /// Max rows any intermediate relation may materialize (joins, scans,
@@ -117,11 +118,38 @@ struct Meter {
     budget: ExecBudget,
     fuel_used: u64,
     depth: usize,
+    /// Largest row count passed to [`Self::check_rows`] in the current
+    /// section (see [`Self::begin_section`]); after all sections close,
+    /// the largest across the whole execution.
+    peak_rows: usize,
 }
 
 impl Meter {
     fn new(budget: ExecBudget) -> Meter {
-        Meter { budget, fuel_used: 0, depth: 0 }
+        Meter { budget, fuel_used: 0, depth: 0, peak_rows: 0 }
+    }
+
+    /// Start measuring a cacheable computation: returns a mark capturing
+    /// fuel-so-far and the enclosing section's peak. Sections nest.
+    fn begin_section(&mut self) -> (u64, usize) {
+        (self.fuel_used, std::mem::take(&mut self.peak_rows))
+    }
+
+    /// Close a section: returns `(fuel_delta, peak_rows)` spent inside it —
+    /// exactly what a cache hit must later [`Self::replay`] — and folds the
+    /// section's peak back into the enclosing one.
+    fn end_section(&mut self, mark: (u64, usize)) -> (u64, usize) {
+        let fuel = self.fuel_used - mark.0;
+        let peak = self.peak_rows;
+        self.peak_rows = peak.max(mark.1);
+        (fuel, peak)
+    }
+
+    /// Charge a cache hit with the spend its cold construction recorded,
+    /// so warm and cold runs are indistinguishable to the budget.
+    fn replay(&mut self, fuel: u64, peak_rows: usize, what: &str) -> Result<(), ExecError> {
+        self.check_rows(peak_rows, what)?;
+        self.charge(fuel)
     }
 
     /// Spend `units` fuel (one unit ≈ one row visited).
@@ -138,7 +166,8 @@ impl Meter {
 
     /// Refuse to materialize `n` rows if over the row limit. Call *before*
     /// allocating.
-    fn check_rows(&self, n: usize, what: &str) -> Result<(), ExecError> {
+    fn check_rows(&mut self, n: usize, what: &str) -> Result<(), ExecError> {
+        self.peak_rows = self.peak_rows.max(n);
         if n > self.budget.max_rows {
             return Err(ExecError::ResourceExhausted(format!(
                 "{what} would materialize {n} rows (limit {})",
@@ -238,15 +267,25 @@ impl CacheStats {
 
 /// Per-database memo of scans, groupings, and subquery results (see the
 /// module docs). Purely additive: results through a cache are identical to
-/// uncached execution.
+/// uncached execution, and each entry remembers the budget spend of its
+/// cold construction so hits charge the meter identically.
 #[derive(Debug, Default)]
 pub struct ExecCache {
     /// Name of the database this cache is bound to (set on first use).
     db_name: Option<String>,
-    scans: HashMap<String, Arc<ScanData>>,
-    groups: HashMap<String, Arc<Vec<GroupEntry>>>,
-    results: HashMap<String, Arc<ResultSet>>,
+    scans: HashMap<String, Cached<Arc<ScanData>>>,
+    groups: HashMap<String, Cached<Arc<Vec<GroupEntry>>>>,
+    results: HashMap<String, Cached<Arc<ResultSet>>>,
     pub stats: CacheStats,
+}
+
+/// A memoized value plus the budget spend its construction charged, so a
+/// hit can [`Meter::replay`] it.
+#[derive(Debug)]
+struct Cached<T> {
+    value: T,
+    fuel: u64,
+    peak_rows: usize,
 }
 
 impl ExecCache {
@@ -312,8 +351,32 @@ pub fn execute_budgeted(
     q: &VisQuery,
     budget: ExecBudget,
 ) -> Result<ResultSet, ExecError> {
+    execute_metered(db, q, budget).map(|(rs, _)| rs)
+}
+
+/// What one execution actually charged against its [`ExecBudget`] —
+/// identical for warm and cold cache runs of the same query (hits replay
+/// the cold spend), which the oracle-style parity tests assert.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExecSpend {
+    /// Total fuel (row-visit steps) charged.
+    pub fuel_used: u64,
+    /// Largest single row-count checked against `max_rows`.
+    pub peak_rows: usize,
+}
+
+/// [`execute_budgeted`], also reporting the budget spend.
+pub fn execute_metered(
+    db: &Database,
+    q: &VisQuery,
+    budget: ExecBudget,
+) -> Result<(ResultSet, ExecSpend), ExecError> {
     fault_check(q)?;
-    Exec { cache: None, meter: Meter::new(budget) }.set(db, &q.query)
+    let mut e = Exec { cache: None, meter: Meter::new(budget) };
+    let rs = e.set(db, &q.query)?;
+    let spend = ExecSpend { fuel_used: e.meter.fuel_used, peak_rows: e.meter.peak_rows };
+    trace_exec(&rs, spend, None);
+    Ok((rs, spend))
 }
 
 /// Execute through a per-database [`ExecCache`]. Output is bit-identical to
@@ -334,9 +397,47 @@ pub fn execute_with_cache_budgeted(
     cache: &mut ExecCache,
     budget: ExecBudget,
 ) -> Result<ResultSet, ExecError> {
+    execute_with_cache_metered(db, q, cache, budget).map(|(rs, _)| rs)
+}
+
+/// [`execute_with_cache_budgeted`], also reporting the budget spend.
+pub fn execute_with_cache_metered(
+    db: &Database,
+    q: &VisQuery,
+    cache: &mut ExecCache,
+    budget: ExecBudget,
+) -> Result<(ResultSet, ExecSpend), ExecError> {
     fault_check(q)?;
     cache.bind(db);
-    Exec { cache: Some(cache), meter: Meter::new(budget) }.set(db, &q.query)
+    let stats_before = cache.stats;
+    let mut e = Exec { cache: Some(cache), meter: Meter::new(budget) };
+    let rs = e.set(db, &q.query)?;
+    let spend = ExecSpend { fuel_used: e.meter.fuel_used, peak_rows: e.meter.peak_rows };
+    trace_exec(&rs, spend, Some((stats_before, cache.stats)));
+    Ok((rs, spend))
+}
+
+/// Emit the `data.*` trace counters for one completed execution. A single
+/// disarmed-path branch; the cache hit/miss split is partition-dependent
+/// under parallel per-worker caches, so those counters live under
+/// `data.cache.` and are excluded from cross-thread determinism checks
+/// (their per-layer hit+miss sums stay deterministic).
+fn trace_exec(rs: &ResultSet, spend: ExecSpend, stats: Option<(CacheStats, CacheStats)>) {
+    if !nv_trace::enabled() {
+        return;
+    }
+    nv_trace::count("data.exec.calls", 1);
+    nv_trace::count("data.exec.fuel_used", spend.fuel_used);
+    nv_trace::count("data.exec.rows_out", rs.rows.len() as u64);
+    nv_trace::gauge_max("data.exec.peak_rows", spend.peak_rows as u64);
+    if let Some((before, after)) = stats {
+        nv_trace::count("data.cache.scan.hits", after.scan_hits - before.scan_hits);
+        nv_trace::count("data.cache.scan.misses", after.scan_misses - before.scan_misses);
+        nv_trace::count("data.cache.group.hits", after.group_hits - before.group_hits);
+        nv_trace::count("data.cache.group.misses", after.group_misses - before.group_misses);
+        nv_trace::count("data.cache.result.hits", after.result_hits - before.result_hits);
+        nv_trace::count("data.cache.result.misses", after.result_misses - before.result_misses);
+    }
 }
 
 /// The `data.exec` injection point. Keyed on the query's canonical debug
@@ -409,10 +510,13 @@ impl Exec<'_> {
         if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.as_deref()) {
             if let Some(s) = c.scans.get(k) {
                 c.stats.scan_hits += 1;
-                return Ok((Arc::clone(s), key));
+                let (data, fuel, peak) = (Arc::clone(&s.value), s.fuel, s.peak_rows);
+                self.meter.replay(fuel, peak, "table scan")?;
+                return Ok((data, key));
             }
             c.stats.scan_misses += 1;
         }
+        let mark = key.is_some().then(|| self.meter.begin_section());
         let rel = build_from(db, body, &mut self.meter)?;
         self.meter.charge(rel.rows.len() as u64)?;
         let mut kept: Vec<Vec<Value>> = Vec::with_capacity(rel.rows.len());
@@ -426,8 +530,11 @@ impl Exec<'_> {
             }
         }
         let scan = Arc::new(ScanData { cols: rel.cols, types: rel.types, rows: kept });
-        if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.clone()) {
-            c.scans.insert(k, Arc::clone(&scan));
+        if let Some(mark) = mark {
+            let (fuel, peak_rows) = self.meter.end_section(mark);
+            if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.clone()) {
+                c.scans.insert(k, Cached { value: Arc::clone(&scan), fuel, peak_rows });
+            }
         }
         Ok((scan, key))
     }
@@ -448,10 +555,13 @@ impl Exec<'_> {
         if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key.as_deref()) {
             if let Some(g) = c.groups.get(k) {
                 c.stats.group_hits += 1;
-                return Ok(Arc::clone(g));
+                let (entries, fuel, peak) = (Arc::clone(&g.value), g.fuel, g.peak_rows);
+                self.meter.replay(fuel, peak, "group partition")?;
+                return Ok(entries);
             }
             c.stats.group_misses += 1;
         }
+        let mark = key.is_some().then(|| self.meter.begin_section());
         self.meter.charge(scan.rows.len() as u64)?;
 
         let key_idx: Vec<usize> = key_cols
@@ -501,8 +611,11 @@ impl Exec<'_> {
             .collect();
 
         let entries = Arc::new(entries);
-        if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key) {
-            c.groups.insert(k, Arc::clone(&entries));
+        if let Some(mark) = mark {
+            let (fuel, peak_rows) = self.meter.end_section(mark);
+            if let (Some(c), Some(k)) = (self.cache.as_deref_mut(), key) {
+                c.groups.insert(k, Cached { value: Arc::clone(&entries), fuel, peak_rows });
+            }
         }
         Ok(entries)
     }
@@ -514,6 +627,11 @@ impl Exec<'_> {
         };
 
         let (scan, scan_key) = self.scan(db, body, &where_p)?;
+        if nv_trace::enabled() {
+            // Counted on hits and misses alike, so the total is independent
+            // of cache state and thread partitioning.
+            nv_trace::count("data.exec.scan_rows", scan.rows.len() as u64);
+        }
 
         // Grouping plan.
         let explicit_group = body.group.clone().filter(|g| !g.is_empty());
@@ -665,14 +783,17 @@ impl Exec<'_> {
         if let Some(c) = self.cache.as_deref_mut() {
             if let Some(rs) = c.results.get(&key) {
                 c.stats.result_hits += 1;
-                let rs = Arc::clone(rs);
+                let (rs, fuel, peak) = (Arc::clone(&rs.value), rs.fuel, rs.peak_rows);
+                self.meter.replay(fuel, peak, "subquery")?;
                 return Ok(first_col(&rs));
             }
             c.stats.result_misses += 1;
         }
+        let mark = self.meter.begin_section();
         let rs = Arc::new(self.set(db, q)?);
+        let (fuel, peak_rows) = self.meter.end_section(mark);
         if let Some(c) = self.cache.as_deref_mut() {
-            c.results.insert(key, Arc::clone(&rs));
+            c.results.insert(key, Cached { value: Arc::clone(&rs), fuel, peak_rows });
         }
         Ok(first_col(&rs))
     }
@@ -1020,6 +1141,11 @@ fn row_attr_value(rel: &Relation<'_>, row: &[Value], attr: &Attr) -> Result<Valu
 struct NumericBins {
     min: f64,
     size: f64,
+    /// Ordinal of the last bin. The top edge is inclusive: a value equal to
+    /// the column maximum belongs to the last bin, not a one-past-the-end
+    /// overflow bin (which `floor` alone produces when the range divides
+    /// the bin size exactly).
+    last: i64,
 }
 
 impl NumericBins {
@@ -1031,14 +1157,15 @@ impl NumericBins {
             max = max.max(v);
         }
         if !min.is_finite() || !max.is_finite() {
-            return NumericBins { min: 0.0, size: 1.0 };
+            return NumericBins { min: 0.0, size: 1.0, last: 0 };
         }
         let size = ((max - min) / f64::from(n_bins)).ceil().max(1.0);
-        NumericBins { min, size }
+        let last = (((max - min) / size).ceil() as i64 - 1).max(0);
+        NumericBins { min, size, last }
     }
 
     fn bucket(&self, v: f64) -> (i64, Value) {
-        let idx = ((v - self.min) / self.size).floor() as i64;
+        let idx = (((v - self.min) / self.size).floor() as i64).min(self.last);
         let lo = self.min + idx as f64 * self.size;
         let hi = lo + self.size;
         let label = format!("{}-{}", trim_f(lo), trim_f(hi));
@@ -1414,6 +1541,40 @@ mod tests {
         assert!(matches!(&rs.rows[0][0], Value::Text(s) if s.contains('-')));
     }
 
+    /// Regression: a value exactly on the configured bin maximum must land
+    /// in the last bin, not a one-past-the-end overflow bin. Price range is
+    /// 120..700 with size 58, so 580/58 = 10 exactly — the max used to get
+    /// ordinal 10 and a spurious "700-758" bin.
+    #[test]
+    fn numeric_bin_maximum_lands_in_last_bin() {
+        let rs = run(
+            "select flight.price , count ( flight.* ) from flight \
+             bin flight.price by bucket_10",
+        );
+        let labels: Vec<&str> = rs
+            .rows
+            .iter()
+            .map(|r| match &r[0] {
+                Value::Text(s) => s.as_str(),
+                other => panic!("bin label should be text, got {other:?}"),
+            })
+            .collect();
+        assert!(
+            labels.contains(&"642-700"),
+            "max price 700 should fall in the closing 642-700 bin: {labels:?}"
+        );
+        assert!(
+            !labels.iter().any(|l| l.starts_with("700-")),
+            "no overflow bin may start at the maximum: {labels:?}"
+        );
+        // Every bin stays within the observed [min, max] span.
+        for l in &labels {
+            let (lo, hi) = l.split_once('-').unwrap();
+            assert!(lo.parse::<f64>().unwrap() >= 120.0, "{l}");
+            assert!(hi.parse::<f64>().unwrap() <= 700.0, "{l}");
+        }
+    }
+
     #[test]
     fn set_ops() {
         let union = run(
@@ -1693,6 +1854,71 @@ mod tests {
         let defaulted = execute_budgeted(&db(), &q, ExecBudget::default()).unwrap();
         let unlimited = execute_budgeted(&db(), &q, ExecBudget::unlimited()).unwrap();
         assert_eq!(defaulted, unlimited);
+    }
+
+    /// Oracle-style budget-accounting parity: for every grammar feature,
+    /// plain, cache-cold, and cache-warm executions must report the exact
+    /// same [`ExecSpend`] — hits replay the spend of their construction.
+    #[test]
+    fn warm_and_cold_cache_spend_identical_budget() {
+        let db = db();
+        let queries = [
+            "select flight.destination , flight.price from flight",
+            "select flight.fno from flight where flight.price > 250",
+            "select flight.destination , count ( flight.* ) from flight \
+             group by flight.destination",
+            "select airport.city , count ( flight.* ) from flight \
+             join airport on flight.src = airport.id \
+             where flight.price >= 200 group by airport.city",
+            "select flight.price , count ( flight.* ) from flight \
+             bin flight.price by bucket_10",
+            "select flight.destination from flight where flight.price > 250 \
+             intersect select flight.destination from flight where flight.price < 250",
+            "select flight.fno from flight where flight.price > \
+             ( select avg ( flight.price ) from flight )",
+            "select flight.fno , flight.price from flight top 2 by flight.price",
+        ];
+        let mut cache = ExecCache::new();
+        for vql in queries {
+            let q = parse_vql_str(vql).unwrap();
+            let (_, plain) = execute_metered(&db, &q, ExecBudget::default()).unwrap();
+            let (_, cold) =
+                execute_with_cache_metered(&db, &q, &mut cache, ExecBudget::default()).unwrap();
+            let (_, warm) =
+                execute_with_cache_metered(&db, &q, &mut cache, ExecBudget::default()).unwrap();
+            assert_eq!(plain, cold, "cold-cache spend diverged on {vql}");
+            assert_eq!(plain, warm, "warm-cache spend diverged on {vql}");
+        }
+        assert!(cache.stats.scan_hits > 0, "parity must be proven on real cache hits");
+        assert!(cache.stats.result_hits > 0, "subquery memo must be exercised");
+    }
+
+    /// A fuel limit that trips cold must trip warm too, and exactly-enough
+    /// fuel must succeed warm with the same reported spend.
+    #[test]
+    fn fuel_limit_trips_identically_warm_and_cold() {
+        let db = db();
+        let q = parse_vql_str(
+            "select flight.destination , count ( flight.* ) from flight \
+             where flight.price > ( select avg ( flight.price ) from flight ) \
+             group by flight.destination",
+        )
+        .unwrap();
+        let (_, spend) = execute_metered(&db, &q, ExecBudget::unlimited()).unwrap();
+        assert!(spend.fuel_used > 1);
+        let enough = ExecBudget { fuel: spend.fuel_used, ..ExecBudget::default() };
+        let short = ExecBudget { fuel: spend.fuel_used - 1, ..ExecBudget::default() };
+
+        let mut cache = ExecCache::new();
+        assert_exhausted(execute_with_cache_budgeted(&db, &q, &mut cache, short), "fuel");
+
+        let mut cache = ExecCache::new();
+        execute_with_cache_budgeted(&db, &q, &mut cache, enough).unwrap();
+        // Warm hit: previously the cached scan skipped its charges and
+        // slipped under the limit; it must trip exactly like the cold run.
+        assert_exhausted(execute_with_cache_budgeted(&db, &q, &mut cache, short), "fuel");
+        let (_, warm) = execute_with_cache_metered(&db, &q, &mut cache, enough).unwrap();
+        assert_eq!(warm, spend);
     }
 
     #[test]

@@ -585,9 +585,12 @@ fn group_entries(
 }
 
 /// Equal-width numeric bins: `size = ceil((max - min) / n_bins).max(1)`.
+/// The top edge is inclusive (`last` clamps the ordinal), mirroring the
+/// engine's `NumericBins` bit for bit.
 struct NumericBins {
     min: f64,
     size: f64,
+    last: i64,
 }
 
 impl NumericBins {
@@ -599,14 +602,15 @@ impl NumericBins {
             max = max.max(v);
         }
         if !min.is_finite() || !max.is_finite() {
-            return NumericBins { min: 0.0, size: 1.0 };
+            return NumericBins { min: 0.0, size: 1.0, last: 0 };
         }
         let size = ((max - min) / f64::from(n_bins)).ceil().max(1.0);
-        NumericBins { min, size }
+        let last = (((max - min) / size).ceil() as i64 - 1).max(0);
+        NumericBins { min, size, last }
     }
 
     fn bucket(&self, v: f64) -> (i64, Value) {
-        let idx = ((v - self.min) / self.size).floor() as i64;
+        let idx = (((v - self.min) / self.size).floor() as i64).min(self.last);
         let lo = self.min + idx as f64 * self.size;
         let hi = lo + self.size;
         (idx, Value::Text(format!("{}-{}", trim_f(lo), trim_f(hi))))

@@ -63,12 +63,21 @@ pub fn extract_candidates(nl: &str) -> Vec<Candidate> {
     while let Some(c) = chars.next() {
         if c == '\'' {
             flush(&mut word, &mut out);
+            // Quoted span; a doubled quote is an escaped literal quote, so
+            // `'O''Hare'` yields the candidate `O'Hare`.
             let mut quoted = String::new();
-            for n in chars.by_ref() {
+            while let Some(&n) = chars.peek() {
+                chars.next();
                 if n == '\'' {
-                    break;
+                    if chars.peek() == Some(&'\'') {
+                        chars.next();
+                        quoted.push('\'');
+                    } else {
+                        break;
+                    }
+                } else {
+                    quoted.push(n);
                 }
-                quoted.push(n);
             }
             if !quoted.is_empty() {
                 out.push(Candidate::Text(quoted));
@@ -232,6 +241,27 @@ mod tests {
         let filled = fill_values(&masked, "give the 5 most expensive at 1234.75 dollars");
         // 1234.75 is fractional; 5 is the integer pick.
         assert!(filled.contains(&"5".to_string()), "{filled:?}");
+    }
+
+    #[test]
+    fn embedded_quote_value_fills_back_canonically() {
+        // The PR 3 regression literal, end to end through the value channel:
+        // serializer-escaped VQL → mask → NL span → extract → refill.
+        let toks = tokenize_vql("select t.a from t where t.name = '%''J'");
+        let (masked, values) = mask_values(&toks);
+        assert_eq!(values, vec![Literal::Text("%'J".into())]);
+        let filled = fill_values(&masked, "rows whose name is '%''J' please");
+        assert_eq!(filled.join(" "), toks.join(" "));
+        parse_vql(&filled).unwrap();
+    }
+
+    #[test]
+    fn extract_honors_doubled_quote_escapes() {
+        let c = extract_candidates("flights from 'O''Hare' after 500");
+        assert_eq!(
+            c,
+            vec![Candidate::Text("O'Hare".into()), Candidate::Number(500.0)]
+        );
     }
 
     #[test]

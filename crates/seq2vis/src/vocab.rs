@@ -96,11 +96,19 @@ pub fn nl_tokens(s: &str) -> Vec<String> {
         match c {
             '\'' => {
                 flush(&mut cur, &mut out);
+                // Mirror `tokenize_vql`: a doubled quote inside the span is
+                // an escape, not a terminator.
                 let mut quoted = String::from("'");
-                for n in chars.by_ref() {
+                while let Some(&n) = chars.peek() {
+                    chars.next();
                     quoted.push(n);
                     if n == '\'' {
-                        break;
+                        if chars.peek() == Some(&'\'') {
+                            chars.next();
+                            quoted.push('\'');
+                        } else {
+                            break;
+                        }
                     }
                 }
                 out.push(quoted.to_lowercase());

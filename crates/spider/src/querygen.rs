@@ -614,10 +614,9 @@ fn value_literal(v: &Value) -> Literal {
 }
 
 fn lit_phrase(l: &Literal) -> String {
-    match l {
-        Literal::Text(s) => format!("'{s}'"),
-        other => other.to_token(),
-    }
+    // Delegate to `to_token`: it quotes text and doubles embedded quotes,
+    // keeping generated NL spans parseable by the V-slot extractor.
+    l.to_token()
 }
 
 fn agg_word(a: AggFunc) -> &'static str {

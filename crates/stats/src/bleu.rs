@@ -11,7 +11,12 @@ pub fn sentence_bleu(candidate: &[&str], reference: &[&str], max_n: usize) -> f6
     if candidate.is_empty() || reference.is_empty() {
         return 0.0;
     }
-    let max_n = max_n.min(candidate.len()).min(reference.len()).max(1);
+    // Clamp the order by the *candidate* only: a candidate shorter than
+    // `max_n` has no n-grams of the higher orders (its precision there is
+    // vacuous, not 1.0), while a short *reference* must still count against
+    // the candidate's higher-order n-grams (clipped count 0, ε-smoothed)
+    // rather than silently dropping them.
+    let max_n = max_n.min(candidate.len()).max(1);
     let mut log_sum = 0.0;
     for n in 1..=max_n {
         let cand = ngram_counts(candidate, n);
@@ -31,7 +36,12 @@ pub fn sentence_bleu(candidate: &[&str], reference: &[&str], max_n: usize) -> f6
 }
 
 fn brevity_penalty(c: usize, r: usize) -> f64 {
-    if c >= r {
+    if c == 0 {
+        // An empty candidate has nothing to score; without this guard the
+        // `r / c` below divides by zero and the penalty becomes NaN/0-ish
+        // garbage instead of a hard 0.
+        0.0
+    } else if c >= r {
         1.0
     } else {
         (1.0 - r as f64 / c as f64).exp()
@@ -138,6 +148,42 @@ mod tests {
     fn empty_inputs() {
         assert_eq!(sentence_bleu(&[], &toks("x"), 4), 0.0);
         assert_eq!(sentence_bleu(&toks("x"), &[], 4), 0.0);
+    }
+
+    #[test]
+    fn empty_candidate_scores_zero_via_brevity_penalty() {
+        // Regression: brevity_penalty(0, r) used to divide by zero.
+        assert_eq!(brevity_penalty(0, 5), 0.0);
+        assert!(brevity_penalty(0, 5).is_finite());
+        assert_eq!(sentence_bleu(&[], &toks("a b c"), 4), 0.0);
+    }
+
+    #[test]
+    fn short_candidate_does_not_earn_vacuous_precision() {
+        // Regression: with the order clamped by the reference too, a 2-token
+        // candidate against a long reference skipped orders 3..4 entirely
+        // and could outscore a longer, strictly-better candidate.
+        let reference = toks("show a bar chart of counts by major");
+        let two = toks("show a");
+        let five = toks("show a bar chart of");
+        let s2 = sentence_bleu(&two, &reference, 4);
+        let s5 = sentence_bleu(&five, &reference, 4);
+        assert!(s2 < s5, "short candidate should not outscore longer match: {s2} vs {s5}");
+        // And the order is clamped by the candidate: a 2-token candidate
+        // scores over orders 1..2 only, so a perfect 2-token prefix match
+        // is brevity-penalized but not precision-zeroed.
+        assert!(s2 > 0.0);
+    }
+
+    #[test]
+    fn short_reference_still_counts_unmatched_higher_orders() {
+        // A 6-token candidate vs a 2-token reference: orders 3..4 exist for
+        // the candidate, match nothing, and must drag the score toward 0
+        // (previously they were skipped, inflating the score).
+        let cand = toks("a b x y z w");
+        let reference = toks("a b");
+        let s = sentence_bleu(&cand, &reference, 4);
+        assert!(s < 1e-3, "{s}");
     }
 
     #[test]

@@ -280,7 +280,9 @@ fn filter_phrase(p: &Predicate) -> String {
 
 fn operand_phrase(o: &Operand) -> String {
     match o {
-        Operand::Lit(Literal::Text(s)) => format!("'{s}'"),
+        // `to_token` doubles embedded quotes, so the quoted span in the NL
+        // stays parseable by the V-slot extractor even for values like
+        // `O'Hare` (serialize → extract must be the identity on text).
         Operand::Lit(l) => l.to_token(),
         Operand::List(ls) => ls
             .iter()

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # Quick throughput smoke: release build, quick-mode exp_scale, and the
-# resulting BENCH_synth.json (pairs/sec + speedup vs the sequential oracle).
+# resulting BENCH_synth.json (pairs/sec + speedup vs the sequential oracle,
+# plus the nv-trace attribution from a separate traced run: per-stage
+# timings under "traced_parallel_run.stages" and executor cache hit rates
+# under "traced_parallel_run.cache_hit_rates").
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -10,3 +13,6 @@ NV_EXP_SCALE_QUICK=1 cargo bench -p nv-bench --bench exp_scale
 echo
 echo "--- BENCH_synth.json ---"
 cat BENCH_synth.json
+echo
+echo "--- trace digest (stage → total_ms, cache → hit_rate) ---"
+grep -E '"(parse|edits|filter|nledit|scan|group|result)"|total_ms|hit_rate' BENCH_synth.json

@@ -2,10 +2,11 @@
 # The repo's CI gate, runnable locally. Stages:
 #
 #   scripts/ci.sh                  # everything (build, tests, faults,
-#                                  # warnings, differential, golden)
+#                                  # warnings, differential, golden, trace)
 #   scripts/ci.sh differential     # 5,000-case differential-oracle batch
 #   scripts/ci.sh golden           # verify golden corpus snapshots
 #   scripts/ci.sh golden --bless   # regenerate snapshots, then re-verify
+#   scripts/ci.sh trace            # traced synthesis + report schema gate
 #
 # The differential stage runs every generated query through all four
 # executor entry points (plain, cache-cold, cache-warm, budgeted) against
@@ -32,6 +33,11 @@ run_golden() {
   cargo test --release -q --test golden_snapshots
 }
 
+run_trace() {
+  echo "=== nv-trace: small traced synthesis + report schema validation ==="
+  cargo test --release -q --test trace_observability
+}
+
 case "$stage" in
   differential)
     run_differential
@@ -41,31 +47,38 @@ case "$stage" in
     run_golden "${2:-}"
     exit 0
     ;;
+  trace)
+    run_trace
+    exit 0
+    ;;
   all) ;;
   *)
-    echo "usage: scripts/ci.sh [all|differential|golden [--bless]]" >&2
+    echo "usage: scripts/ci.sh [all|differential|golden [--bless]|trace]" >&2
     exit 2
     ;;
 esac
 
-echo "=== [1/6] cargo build --release ==="
+echo "=== [1/7] cargo build --release ==="
 cargo build --release
 
-echo "=== [2/6] cargo test -q ==="
+echo "=== [2/7] cargo test -q ==="
 cargo test -q
 
-echo "=== [3/6] fault-injection harness ==="
+echo "=== [3/7] fault-injection harness ==="
 cargo test -q --test fault_injection
 
-echo "=== [4/6] warnings-clean (fault-isolation + oracle crates) ==="
+echo "=== [4/7] warnings-clean (fault-isolation + trace + oracle crates) ==="
 RUSTFLAGS="-D warnings" cargo check -q \
-  -p nv-fault -p nv-data -p nv-sql -p nv-render -p nv-synth -p nv-core \
-  -p nv-oracle
+  -p nv-fault -p nv-trace -p nv-data -p nv-sql -p nv-render -p nv-synth \
+  -p nv-core -p nv-oracle
 
-echo "=== [5/6] differential oracle ==="
+echo "=== [5/7] differential oracle ==="
 run_differential
 
-echo "=== [6/6] golden snapshots ==="
+echo "=== [6/7] golden snapshots ==="
 run_golden
+
+echo "=== [7/7] trace observability gate ==="
+run_trace
 
 echo "=== CI green ==="

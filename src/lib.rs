@@ -19,6 +19,7 @@
 //! | [`quality`] | `nv-quality` | DeepEye-style chart filter |
 //! | [`render`] | `nv-render` | chart data, Vega-Lite, ECharts |
 //! | [`synth`] | `nv-synth` | tree edits + NL edits |
+//! | [`trace`] | `nv-trace` | pipeline observability: spans, counters, trace reports |
 //! | [`core`] | `nv-core` | the synthesizer pipeline + NvBench container |
 //! | [`nn`] | `nv-nn` | matrices, autograd, LSTM seq2seq |
 //! | [`oracle`] | `nv-oracle` | differential oracle: reference interpreter, laws, golden snapshots |
@@ -62,6 +63,7 @@ pub use nv_spider as spider;
 pub use nv_sql as sql;
 pub use nv_stats as stats;
 pub use nv_synth as synth;
+pub use nv_trace as trace;
 
 /// The most common imports, in one place.
 pub mod prelude {

@@ -145,3 +145,31 @@ fn numeric_bin_over_constant_column() {
     assert_eq!(rs.rows.len(), 1);
     assert_eq!(rs.rows[0][1], Value::Int(6));
 }
+
+/// Regression: when the value range is an exact multiple of the bin size,
+/// the column maximum used to overflow into an eleventh bin. It must land
+/// in the last real bin, and the reference interpreter must agree.
+#[test]
+fn numeric_bin_top_edge_is_inclusive() {
+    let mut db = db();
+    // Range 0..100, bucket_10 → size 10; the max (100) sits exactly on the
+    // final edge.
+    db.add_table(table_from(
+        "edgy",
+        &[("v", ColumnType::Quantitative)],
+        (0..=10).map(|i| vec![Value::Int(i * 10)]).collect(),
+    ));
+    let q = parse_vql_str("select edgy.v , count ( edgy.* ) from edgy bin edgy.v by bucket_10")
+        .unwrap();
+    let rs = execute(&db, &q).unwrap();
+    assert_eq!(rs.rows.len(), 10, "exactly ten bins, no overflow: {rs:?}");
+    let labels: Vec<String> = rs.rows.iter().map(|r| r[0].label()).collect();
+    assert!(!labels.iter().any(|l| l.starts_with("100-")), "{labels:?}");
+    // The closing bin holds both 90 and the on-edge 100.
+    let last = rs.rows.last().unwrap();
+    assert_eq!(last[0], Value::text("90-100"));
+    assert_eq!(last[1], Value::Int(2));
+    // The reference interpreter implements the same inclusive top edge.
+    let oracle = nv_oracle::oracle_execute(&db, &q).unwrap();
+    assert!(rs.multiset_eq(&oracle), "engine and oracle disagree on the edge bin");
+}
