@@ -1,0 +1,171 @@
+//! train_throughput — nv-nn training-kernel throughput.
+//!
+//! Measures forward+backward training tokens/sec for each seq2vis variant
+//! under the fast fused/blocked kernels and under the pre-rewrite
+//! `KernelPolicy::NaiveOracle` twin, asserts the two are bit-identical
+//! before timing anything, and records per-variant tokens/sec plus the
+//! speedup into `BENCH_train.json` at the repo root. A separate traced
+//! run attributes GEMM flops, tape nodes and step time via nv-trace.
+//!
+//! Set `NV_EXP_TRAIN_QUICK=1` to cut repetitions (used by
+//! `scripts/bench_smoke.sh`).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use nvbench::nn::seq2seq::{ModelVariant, Sample, Seq2Seq, Seq2SeqConfig};
+use nvbench::nn::KernelPolicy;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+const VOCAB: usize = 64;
+
+fn corpus(n: usize) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(77);
+    (0..n)
+        .map(|_| {
+            let len = rng.random_range(6..13);
+            let src: Vec<usize> = (0..len).map(|_| rng.random_range(5..VOCAB)).collect();
+            let mut tgt = src.clone();
+            tgt.reverse();
+            tgt.truncate(rng.random_range(4..10));
+            Sample { src, tgt }
+        })
+        .collect()
+}
+
+fn cfg(variant: ModelVariant, kernel: KernelPolicy) -> Seq2SeqConfig {
+    Seq2SeqConfig {
+        vocab: VOCAB,
+        embed_dim: 48,
+        hidden: 64,
+        variant,
+        seed: 5,
+        lr: 2e-3,
+        clip: 2.0,
+        batch: 16,
+        bos: 0,
+        eos: 1,
+        max_decode_len: 16,
+        threads: 1,
+        kernel,
+    }
+}
+
+fn median(mut xs: Vec<f64>) -> f64 {
+    xs.sort_by(f64::total_cmp);
+    xs[xs.len() / 2]
+}
+
+/// Median wall time of `reps` training epochs (one untimed warm-up).
+fn time_epochs(model: &mut Seq2Seq, samples: &[Sample], reps: usize) -> f64 {
+    model.train_epoch(samples);
+    median(
+        (0..reps)
+            .map(|_| {
+                let t = Instant::now();
+                black_box(model.train_epoch(samples));
+                t.elapsed().as_secs_f64()
+            })
+            .collect(),
+    )
+}
+
+fn bench(c: &mut Criterion) {
+    let quick = std::env::var("NV_EXP_TRAIN_QUICK").is_ok();
+    let reps = if quick { 3 } else { 5 };
+    let samples = corpus(48);
+    // Source and target tokens both pass through the LSTM stack each
+    // forward+backward step (+1 for the EOS the decoder must emit).
+    let tokens_per_epoch: usize =
+        samples.iter().map(|s| s.src.len() + s.tgt.len() + 1).sum();
+
+    let mut variants = serde_json::Map::new();
+    let mut min_speedup = f64::INFINITY;
+    for variant in ModelVariant::ALL {
+        // Correctness gate first: the kernels under measurement must be
+        // bit-identical to the naive oracle (losses AND parameters).
+        let mut fast_probe = Seq2Seq::new(cfg(variant, KernelPolicy::Fast));
+        let mut naive_probe = Seq2Seq::new(cfg(variant, KernelPolicy::NaiveOracle));
+        for _ in 0..2 {
+            let lf = fast_probe.train_epoch(&samples).to_bits();
+            let ln = naive_probe.train_epoch(&samples).to_bits();
+            assert_eq!(lf, ln, "{variant:?}: fast loss diverged from naive oracle");
+        }
+        assert_eq!(
+            fast_probe.params_checksum(),
+            naive_probe.params_checksum(),
+            "{variant:?}: fast parameters diverged from naive oracle"
+        );
+
+        let mut fast = Seq2Seq::new(cfg(variant, KernelPolicy::Fast));
+        let mut naive = Seq2Seq::new(cfg(variant, KernelPolicy::NaiveOracle));
+        let t_fast = time_epochs(&mut fast, &samples, reps);
+        let t_naive = time_epochs(&mut naive, &samples, reps);
+        let speedup = t_naive / t_fast;
+        min_speedup = min_speedup.min(speedup);
+        variants.insert(
+            variant.name().to_string(),
+            serde_json::json!({
+                "fast": {
+                    "secs_per_epoch": t_fast,
+                    "tokens_per_sec": tokens_per_epoch as f64 / t_fast,
+                },
+                "naive_oracle": {
+                    "secs_per_epoch": t_naive,
+                    "tokens_per_sec": tokens_per_epoch as f64 / t_naive,
+                },
+                "speedup": speedup,
+                "bit_identical": true,
+            }),
+        );
+        println!(
+            "train_throughput: {:<18} fast {:>8.0} tok/s | naive {:>8.0} tok/s | {speedup:.2}x",
+            variant.name(),
+            tokens_per_epoch as f64 / t_fast,
+            tokens_per_epoch as f64 / t_naive,
+        );
+    }
+
+    // One extra *traced* fast-path epoch for attribution; tracing stays
+    // disarmed during the timed runs above.
+    nvbench::trace::reset();
+    nvbench::trace::enable();
+    let mut traced = Seq2Seq::new(cfg(ModelVariant::Copy, KernelPolicy::Fast));
+    black_box(traced.train_epoch(&samples));
+    nvbench::trace::disable();
+    let trace = nvbench::trace::report();
+    nvbench::trace::reset();
+    let step = trace.span_stat("nn.step").unwrap_or_default();
+
+    let report = serde_json::json!({
+        "benchmark": "train_throughput",
+        "corpus": { "samples": samples.len(), "tokens_per_epoch": tokens_per_epoch },
+        "model": { "vocab": VOCAB, "embed_dim": 48, "hidden": 64, "batch": 16, "threads": 1 },
+        "reps": reps,
+        "variants": variants,
+        "min_speedup": min_speedup,
+        // From the separate traced run (copy variant, fast kernels).
+        "traced_epoch": {
+            "gemm_flops": trace.counter("nn.gemm.flops"),
+            "tape_nodes": trace.counter("nn.tape.nodes"),
+            "train_samples": trace.counter("nn.train.samples"),
+            "steps": step.count,
+            "step_total_ms": step.total_ns as f64 / 1e6,
+        },
+    });
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_train.json");
+    std::fs::write(path, serde_json::to_string_pretty(&report).unwrap())
+        .expect("write BENCH_train.json");
+    println!("train_throughput: min speedup {min_speedup:.2}x → {path}");
+
+    let mut g = c.benchmark_group("train");
+    g.sample_size(if quick { 2 } else { 5 });
+    let mut fast = Seq2Seq::new(cfg(ModelVariant::Copy, KernelPolicy::Fast));
+    g.bench_function("epoch_copy_fast", |b| b.iter(|| fast.train_epoch(&samples)));
+    let mut naive = Seq2Seq::new(cfg(ModelVariant::Copy, KernelPolicy::NaiveOracle));
+    g.bench_function("epoch_copy_naive", |b| b.iter(|| naive.train_epoch(&samples)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+criterion_main!(benches);

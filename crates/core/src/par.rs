@@ -160,6 +160,32 @@ where
         .collect()
 }
 
+/// Reduce `items` with a **fixed-order pairwise tree**: round after round,
+/// neighbors `(0,1), (2,3), …` merge (an odd tail carries over) until one
+/// value remains. The combination tree depends only on `items.len()`, never
+/// on thread count or scheduling — which is what makes parallel gradient
+/// accumulation bit-identical across 1/2/4 workers: [`map_ordered`] returns
+/// per-item results in input order, and this folds them along one fixed
+/// tree regardless of which worker produced what.
+///
+/// Returns `None` for an empty input. `merge(a, b)` must treat `a` as the
+/// left (lower-index) operand — float addition is commutative per element,
+/// but keeping the convention makes the tree order self-documenting.
+pub fn tree_reduce<T>(mut items: Vec<T>, mut merge: impl FnMut(T, T) -> T) -> Option<T> {
+    while items.len() > 1 {
+        let mut next = Vec::with_capacity(items.len().div_ceil(2));
+        let mut it = items.into_iter();
+        while let Some(a) = it.next() {
+            match it.next() {
+                Some(b) => next.push(merge(a, b)),
+                None => next.push(a),
+            }
+        }
+        items = next;
+    }
+    items.pop()
+}
+
 /// The outcome of one item processed by [`map_ordered_isolated`]: the work
 /// closure's return value, or the message of the panic it was killed by,
 /// plus the wall-clock time the item took either way.
@@ -499,6 +525,18 @@ mod tests {
             assert_eq!(out.len(), 3);
             assert!(out.iter().all(|o| o.result.is_err()), "threads={threads}");
         }
+    }
+
+    #[test]
+    fn tree_reduce_pairs_in_fixed_order() {
+        // Strings expose the combination tree: ((a·b)·(c·d))·e for 5 items.
+        let items: Vec<String> = ["a", "b", "c", "d", "e"].iter().map(|s| s.to_string()).collect();
+        let out = tree_reduce(items, |a, b| format!("({a}{b})"));
+        assert_eq!(out.unwrap(), "(((ab)(cd))e)");
+        // Degenerate sizes.
+        assert_eq!(tree_reduce(Vec::<u8>::new(), |a, _| a), None);
+        assert_eq!(tree_reduce(vec![7u8], |a, _| a), Some(7));
+        assert_eq!(tree_reduce(vec![1u32, 2], |a, b| a + b), Some(3));
     }
 
     #[test]

@@ -1,13 +1,38 @@
-//! A minimal dense f32 matrix — the storage type of the neural substrate.
-//! Row-major; sized for seq2seq-scale models (hundreds of rows/cols), so
-//! naive loops are plenty fast in release mode.
+//! A dense f32 matrix — the storage type of the neural substrate — with
+//! cache-blocked matmul kernels sized for seq2seq-scale models.
+//!
+//! ## The fixed reduction order
+//!
+//! Every kernel reduces along the shared dimension with [`dot`]: a 4-lane
+//! split accumulation (`acc[0..4]` over chunks of 4, lanes summed
+//! `0+1+2+3`, then a sequential tail). This is the crate's **canonical
+//! reduction order**. The blocked kernels change *memory access* — packed
+//! transposed panels, register tiles — but never the per-element summation
+//! order, so they are **bit-identical** to the straightforward reference
+//! kernels in [`reference`], which reduce with the same `dot` over
+//! explicitly gathered rows. `tests/train_determinism.rs` holds whole
+//! training runs to this equality, and the unit tests below hold every
+//! kernel to it shape-by-shape.
+//!
+//! ## Kernel shapes that matter
+//!
+//! Training is matvec-dominated (column-vector activations), so `matmul`
+//! keeps its contiguous dot fast path; the general kernels pack the
+//! transposed operand once per call (thread-local scratch, no per-call
+//! allocation) and walk register tiles over contiguous panel rows — the
+//! layout the compiler can autovectorize. `*_into` variants write into a
+//! caller-provided matrix so the autograd tape can recycle buffers instead
+//! of allocating per op.
 
 use rand::rngs::StdRng;
 use rand::Rng;
+use std::cell::RefCell;
 
-/// Unrolled dot product (the compiler auto-vectorizes the chunks).
+/// Unrolled dot product — the canonical fixed-order reduction (4 lanes over
+/// chunks of 4, lanes summed in index order, sequential tail). The compiler
+/// auto-vectorizes the chunked part.
 #[inline]
-fn dot(a: &[f32], b: &[f32]) -> f32 {
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     let mut acc = [0.0f32; 4];
     let chunks = a.len() / 4;
     for c in 0..chunks {
@@ -23,6 +48,49 @@ fn dot(a: &[f32], b: &[f32]) -> f32 {
     }
     s
 }
+
+/// [`dot`] against a strided left operand: element `j` of the virtual
+/// vector is `a[offset + j·stride]`. The lane assignment and summation
+/// order replicate [`dot`] exactly, so a kernel may use this on a
+/// transposed column *in place* and stay bit-identical to one that gathers
+/// the column first — this is what lets `matmul_tn`'s matvec path skip the
+/// O(m·k) pack (which costs as much as the matvec itself).
+#[inline]
+fn dot_strided(a: &[f32], offset: usize, stride: usize, len: usize, b: &[f32]) -> f32 {
+    let mut acc = [0.0f32; 4];
+    let chunks = len / 4;
+    for c in 0..chunks {
+        let i = c * 4;
+        acc[0] += a[offset + i * stride] * b[i];
+        acc[1] += a[offset + (i + 1) * stride] * b[i + 1];
+        acc[2] += a[offset + (i + 2) * stride] * b[i + 2];
+        acc[3] += a[offset + (i + 3) * stride] * b[i + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..len {
+        s += a[offset + i * stride] * b[i];
+    }
+    s
+}
+
+thread_local! {
+    /// Per-thread packing scratch for the blocked kernels (transposed
+    /// panels live here between the pack and the tile sweep).
+    static PACK: RefCell<Vec<f32>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Count one GEMM's multiply-adds (2 flops each) when tracing is armed.
+#[inline]
+fn trace_flops(m: usize, k: usize, n: usize) {
+    if nv_trace::enabled() {
+        nv_trace::count("nn.gemm.flops", 2 * (m * k * n) as u64);
+    }
+}
+
+/// Register-tile edge: output tiles are `TILE × TILE` dot products over the
+/// packed panels. 8×8 keeps both row pointers' panels resident in L1 for
+/// the dimensions this model uses (k ≤ a few hundred).
+const TILE: usize = 8;
 
 /// Dense row-major matrix.
 #[derive(Debug, Clone, PartialEq)]
@@ -71,70 +139,93 @@ impl Matrix {
         self.rows == other.rows && self.cols == other.cols
     }
 
-    /// `self × other`. The matrix-×-column-vector case (the seq2seq hot
-    /// path) takes a contiguous dot-product fast path.
+    /// `self × other`. Allocating wrapper over [`Self::matmul_into`].
     pub fn matmul(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.cols, other.rows, "matmul {}x{} × {}x{}", self.rows, self.cols, other.rows, other.cols);
-        if other.cols == 1 {
-            let mut out = Matrix::zeros(self.rows, 1);
-            for i in 0..self.rows {
-                let row = &self.data[i * self.cols..(i + 1) * self.cols];
-                out.data[i] = dot(row, &other.data);
-            }
-            return out;
-        }
         let mut out = Matrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            for k in 0..self.cols {
-                let a = self.at(i, k);
-                let orow = &other.data[k * other.cols..(k + 1) * other.cols];
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(orow) {
-                    *o += a * b;
-                }
-            }
-        }
+        self.matmul_into(other, &mut out);
         out
     }
 
-    /// `selfᵀ × other`, with a fast path for the column-vector RHS
-    /// (`Wᵀ g` in backprop).
-    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
-        assert_eq!(self.rows, other.rows, "matmul_tn shape");
-        let mut out = Matrix::zeros(self.cols, other.cols);
+    /// `self × other` into a pre-shaped output (fully overwritten). The
+    /// matrix-×-column-vector case (the seq2seq hot path) takes a
+    /// contiguous dot fast path; the general case packs `otherᵀ` and
+    /// sweeps register tiles over contiguous panel rows.
+    pub fn matmul_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(
+            self.cols, other.rows,
+            "matmul {}x{} × {}x{}",
+            self.rows, self.cols, other.rows, other.cols
+        );
+        debug_assert!(out.rows == self.rows && out.cols == other.cols);
+        trace_flops(self.rows, self.cols, other.cols);
+        let k = self.cols;
         if other.cols == 1 {
-            for k in 0..self.rows {
-                let g = other.data[k];
-                if g == 0.0 {
-                    continue;
-                }
-                let row = &self.data[k * self.cols..(k + 1) * self.cols];
-                for (o, &a) in out.data.iter_mut().zip(row) {
-                    *o += a * g;
-                }
+            for i in 0..self.rows {
+                out.data[i] = dot(&self.data[i * k..(i + 1) * k], &other.data);
             }
-            return out;
+            return;
         }
-        for k in 0..self.rows {
-            for i in 0..self.cols {
-                let a = self.at(k, i);
-                if a == 0.0 {
-                    continue;
-                }
-                for j in 0..other.cols {
-                    *out.at_mut(i, j) += a * other.at(k, j);
-                }
-            }
-        }
+        let n = other.cols;
+        PACK.with(|p| {
+            let mut p = p.borrow_mut();
+            pack_transposed(other, &mut p);
+            tiled_dot_sweep(self.rows, n, k, &self.data, &p, &mut out.data);
+        });
+    }
+
+    /// `selfᵀ × other`. Allocating wrapper over [`Self::matmul_tn_into`].
+    pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, other.cols);
+        self.matmul_tn_into(other, &mut out);
         out
     }
 
-    /// `self × otherᵀ`, with a fast path for the rank-1 case (`g xᵀ` —
-    /// the weight-gradient outer product in backprop).
+    /// `selfᵀ × other` into a pre-shaped output (fully overwritten) — the
+    /// `Wᵀ g` backprop kernel. The matvec case reads `selfᵀ`'s rows in
+    /// place with [`dot_strided`] (packing would cost as much as the
+    /// matvec); the general case packs both transposes so every inner loop
+    /// is a contiguous [`dot`].
+    pub fn matmul_tn_into(&self, other: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.rows, other.rows, "matmul_tn shape");
+        debug_assert!(out.rows == self.cols && out.cols == other.cols);
+        trace_flops(self.cols, self.rows, other.cols);
+        let k = self.rows; // shared dimension
+        let m = self.cols;
+        let n = other.cols;
+        if n == 1 {
+            for i in 0..m {
+                out.data[i] = dot_strided(&self.data, i, m, k, &other.data);
+            }
+            return;
+        }
+        PACK.with(|p| {
+            let mut p = p.borrow_mut();
+            pack_transposed(self, &mut p);
+            // Pack otherᵀ behind selfᵀ in the same scratch.
+            let split = m * k;
+            pack_transposed_at(other, &mut p, split);
+            let (at, bt) = p.split_at(split);
+            tiled_dot_sweep(m, n, k, at, bt, &mut out.data);
+        });
+    }
+
+    /// `self × otherᵀ`. Allocating wrapper over [`Self::matmul_nt_into`].
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
+        let mut out = Matrix::zeros(self.rows, other.rows);
+        self.matmul_nt_into(other, &mut out);
+        out
+    }
+
+    /// `self × otherᵀ` into a pre-shaped output (fully overwritten). Both
+    /// operands are already row-major panels, so no packing is needed; the
+    /// rank-1 case (`g xᵀ` — the weight-gradient outer product) writes the
+    /// product directly.
+    pub fn matmul_nt_into(&self, other: &Matrix, out: &mut Matrix) {
         assert_eq!(self.cols, other.cols, "matmul_nt shape");
-        if self.cols == 1 {
-            let mut out = Matrix::zeros(self.rows, other.rows);
+        debug_assert!(out.rows == self.rows && out.cols == other.rows);
+        trace_flops(self.rows, self.cols, other.rows);
+        let k = self.cols;
+        if k == 1 {
             for i in 0..self.rows {
                 let a = self.data[i];
                 let out_row = &mut out.data[i * other.rows..(i + 1) * other.rows];
@@ -142,19 +233,24 @@ impl Matrix {
                     *o = a * b;
                 }
             }
-            return out;
+            return;
         }
-        let mut out = Matrix::zeros(self.rows, other.rows);
+        tiled_dot_sweep(self.rows, other.rows, k, &self.data, &other.data, &mut out.data);
+    }
+
+    /// `out[i] += Σ_k self[i][k] · x[k]` — accumulating matvec for the
+    /// fused affine ops. Each row's product is a full fixed-order [`dot`]
+    /// added to the existing value, mirroring what a `Matmul` node followed
+    /// by an `Add` node computes element-by-element.
+    pub fn matvec_acc(&self, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(self.cols, x.rows, "matvec_acc shape");
+        assert_eq!(x.cols, 1);
+        debug_assert!(out.rows == self.rows && out.cols == 1);
+        trace_flops(self.rows, self.cols, 1);
+        let k = self.cols;
         for i in 0..self.rows {
-            for j in 0..other.rows {
-                let mut s = 0.0;
-                for k in 0..self.cols {
-                    s += self.at(i, k) * other.at(j, k);
-                }
-                *out.at_mut(i, j) = s;
-            }
+            out.data[i] += dot(&self.data[i * k..(i + 1) * k], &x.data);
         }
-        out
     }
 
     pub fn add_assign(&mut self, other: &Matrix) {
@@ -180,10 +276,129 @@ impl Matrix {
     }
 }
 
+/// Pack `m`'s transpose into `scratch[0..cols*rows]`.
+fn pack_transposed(m: &Matrix, scratch: &mut Vec<f32>) {
+    scratch.clear();
+    scratch.resize(m.rows * m.cols, 0.0);
+    pack_transposed_at_slice(m, scratch, 0);
+}
+
+/// Pack `m`'s transpose into `scratch[at..at + cols*rows]`, growing the
+/// scratch as needed.
+fn pack_transposed_at(m: &Matrix, scratch: &mut Vec<f32>, at: usize) {
+    if scratch.len() < at + m.rows * m.cols {
+        scratch.resize(at + m.rows * m.cols, 0.0);
+    }
+    pack_transposed_at_slice(m, scratch, at);
+}
+
+fn pack_transposed_at_slice(m: &Matrix, scratch: &mut [f32], at: usize) {
+    let (r, c) = (m.rows, m.cols);
+    for i in 0..r {
+        let row = &m.data[i * c..(i + 1) * c];
+        for (j, &v) in row.iter().enumerate() {
+            scratch[at + j * r + i] = v;
+        }
+    }
+}
+
+/// The shared tile sweep: `out[i][j] = dot(a_rows[i], b_rows[j])` over
+/// `TILE × TILE` output tiles, where both operands are row-major panels of
+/// length `k`. Tiling bounds the working set (2·TILE panels) so the panels
+/// stay cache-resident across the tile; each element is one full-`k`
+/// fixed-order [`dot`], so blocking never changes the summation order.
+fn tiled_dot_sweep(m: usize, n: usize, k: usize, a_rows: &[f32], b_rows: &[f32], out: &mut [f32]) {
+    for i0 in (0..m).step_by(TILE) {
+        let i1 = (i0 + TILE).min(m);
+        for j0 in (0..n).step_by(TILE) {
+            let j1 = (j0 + TILE).min(n);
+            for i in i0..i1 {
+                let arow = &a_rows[i * k..(i + 1) * k];
+                for j in j0..j1 {
+                    out[i * n + j] = dot(arow, &b_rows[j * k..(j + 1) * k]);
+                }
+            }
+        }
+    }
+}
+
+/// Naive reference kernels — the differential oracle for the blocked
+/// kernels above, mirroring the PR-1/PR-3 oracle pattern (a slow, obviously
+/// correct twin kept callable forever). They gather operand rows/columns
+/// with plain loops and reduce with the same canonical [`dot`], so their
+/// outputs are **bit-identical** to the blocked kernels'; `KernelPolicy::
+/// NaiveOracle` routes a whole training run through them.
+pub mod reference {
+    use super::{dot, Matrix};
+
+    /// `a × b` by explicit column gather + fixed-order dot.
+    pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.rows, "matmul shape");
+        let mut out = Matrix::zeros(a.rows, b.cols);
+        let mut col = vec![0.0f32; b.rows];
+        for j in 0..b.cols {
+            for k in 0..b.rows {
+                col[k] = b.at(k, j);
+            }
+            for i in 0..a.rows {
+                *out.at_mut(i, j) = dot(&a.data[i * a.cols..(i + 1) * a.cols], &col);
+            }
+        }
+        out
+    }
+
+    /// `aᵀ × b` by explicit row gather + fixed-order dot.
+    pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.rows, b.rows, "matmul_tn shape");
+        let mut out = Matrix::zeros(a.cols, b.cols);
+        let mut arow = vec![0.0f32; a.rows];
+        let mut bcol = vec![0.0f32; b.rows];
+        for i in 0..a.cols {
+            for k in 0..a.rows {
+                arow[k] = a.at(k, i);
+            }
+            for j in 0..b.cols {
+                for k in 0..b.rows {
+                    bcol[k] = b.at(k, j);
+                }
+                *out.at_mut(i, j) = dot(&arow, &bcol);
+            }
+        }
+        out
+    }
+
+    /// `a × bᵀ` by fixed-order dot over the already-contiguous rows.
+    pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+        assert_eq!(a.cols, b.cols, "matmul_nt shape");
+        let mut out = Matrix::zeros(a.rows, b.rows);
+        for i in 0..a.rows {
+            for j in 0..b.rows {
+                *out.at_mut(i, j) = dot(
+                    &a.data[i * a.cols..(i + 1) * a.cols],
+                    &b.data[j * b.cols..(j + 1) * b.cols],
+                );
+            }
+        }
+        out
+    }
+
+    /// `out += a × x` (column vector), gather-free: rows are contiguous.
+    pub fn matvec_acc(a: &Matrix, x: &Matrix, out: &mut Matrix) {
+        assert_eq!(a.cols, x.rows, "matvec shape");
+        for i in 0..a.rows {
+            out.data[i] += dot(&a.data[i * a.cols..(i + 1) * a.cols], &x.data);
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use rand::SeedableRng;
+
+    fn rand_mat(rows: usize, cols: usize, rng: &mut StdRng) -> Matrix {
+        Matrix::xavier(rows.max(1), cols.max(1), rng)
+    }
 
     #[test]
     fn matmul_known() {
@@ -191,6 +406,60 @@ mod tests {
         let b = Matrix::from_vec(3, 2, vec![7., 8., 9., 10., 11., 12.]);
         let c = a.matmul(&b);
         assert_eq!(c.data, vec![58., 64., 139., 154.]);
+    }
+
+    /// The blocked kernels must be bit-identical to the reference kernels
+    /// on every shape class (vector, tile-aligned, ragged-edge) — this is
+    /// the invariant that makes the NaiveOracle training path exact.
+    #[test]
+    fn blocked_kernels_match_reference_bitwise() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let shapes = [
+            (1, 1, 1),
+            (3, 5, 1),
+            (8, 8, 8),
+            (8, 16, 8),
+            (9, 13, 7),
+            (17, 33, 19),
+            (64, 48, 24),
+            (5, 1, 9),
+        ];
+        for &(m, k, n) in &shapes {
+            let a = rand_mat(m, k, &mut rng);
+            let b = rand_mat(k, n, &mut rng);
+            let fast = a.matmul(&b);
+            let slow = reference::matmul(&a, &b);
+            assert_eq!(fast.data, slow.data, "matmul {m}x{k}x{n}");
+
+            let at = rand_mat(k, m, &mut rng);
+            let fast = at.matmul_tn(&b);
+            let slow = reference::matmul_tn(&at, &b);
+            assert_eq!(fast.data, slow.data, "matmul_tn {m}x{k}x{n}");
+
+            let bt = rand_mat(n, k, &mut rng);
+            let fast = a.matmul_nt(&bt);
+            let slow = reference::matmul_nt(&a, &bt);
+            assert_eq!(fast.data, slow.data, "matmul_nt {m}x{k}x{n}");
+        }
+    }
+
+    #[test]
+    fn matvec_acc_accumulates_like_matmul_plus_add() {
+        let mut rng = StdRng::seed_from_u64(12);
+        let w = rand_mat(13, 7, &mut rng);
+        let x = Matrix::col((0..7).map(|i| i as f32 * 0.3 - 1.0).collect());
+        let base = Matrix::col((0..13).map(|i| i as f32 * 0.1).collect());
+        // Fused: out = base; out += w·x.
+        let mut fused = base.clone();
+        w.matvec_acc(&x, &mut fused);
+        // Unfused: w·x then elementwise add — must be bit-identical.
+        let mut unfused = w.matmul(&x);
+        unfused.add_assign(&base);
+        assert_eq!(fused.data, unfused.data);
+        // And the reference twin agrees too.
+        let mut reference = base.clone();
+        reference::matvec_acc(&w, &x, &mut reference);
+        assert_eq!(fused.data, reference.data);
     }
 
     #[test]
@@ -228,6 +497,23 @@ mod tests {
                 assert!((nt.at(i, j) - s).abs() < 1e-6);
             }
         }
+    }
+
+    #[test]
+    fn into_variants_overwrite_stale_buffers() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let a = rand_mat(6, 5, &mut rng);
+        let b = rand_mat(5, 4, &mut rng);
+        let mut out = Matrix::from_vec(6, 4, vec![f32::NAN; 24]);
+        a.matmul_into(&b, &mut out);
+        assert_eq!(out.data, a.matmul(&b).data);
+        let c = rand_mat(6, 4, &mut rng);
+        let mut out = Matrix::from_vec(5, 4, vec![f32::NAN; 20]);
+        a.matmul_tn_into(&c, &mut out); // aᵀ(6×5)ᵀ × c(6×4) = 5×4
+        assert_eq!(out.data, a.matmul_tn(&c).data);
+        let mut out = Matrix::from_vec(6, 6, vec![f32::NAN; 36]);
+        a.matmul_nt_into(&a, &mut out);
+        assert_eq!(out.data, a.matmul_nt(&a).data);
     }
 
     #[test]

@@ -7,8 +7,18 @@
 //! The copy variant requires source and target token ids to share one
 //! vocabulary space (so a source token can be emitted directly) — which is
 //! how `nv-seq2vis` builds its vocab.
+//!
+//! ## Training determinism
+//!
+//! Batch members fan out over [`nv_core::par::map_ordered`] (per-worker
+//! reusable tapes) and their per-sample [`GradSet`]s — returned in input
+//! order — merge through [`nv_core::par::tree_reduce`], a fixed pairwise
+//! tree. Training loss and final parameters are therefore **bit-identical
+//! across any `threads` setting**, and — because the fused fast kernels
+//! and the unfused [`KernelPolicy::NaiveOracle`] twin share one numeric
+//! contract — across kernel policies too (`tests/train_determinism.rs`).
 
-use crate::autograd::{ParamId, ParamStore, Tape, T};
+use crate::autograd::{GradSet, KernelPolicy, ParamId, ParamStore, Tape, T};
 use crate::matrix::Matrix;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -51,6 +61,12 @@ pub struct Seq2SeqConfig {
     pub bos: usize,
     pub eos: usize,
     pub max_decode_len: usize,
+    /// Batch-member worker threads (0 = one per available core). Any value
+    /// produces bit-identical training.
+    pub threads: usize,
+    /// Fast fused kernels or the naive differential oracle (bit-identical;
+    /// the oracle exists for verification and as the benchmark baseline).
+    pub kernel: KernelPolicy,
 }
 
 impl Seq2SeqConfig {
@@ -67,6 +83,8 @@ impl Seq2SeqConfig {
             bos,
             eos,
             max_decode_len: 60,
+            threads: 0,
+            kernel: KernelPolicy::Fast,
         }
     }
 }
@@ -101,30 +119,11 @@ impl LstmParams {
         }
     }
 
-    /// One LSTM step on the tape.
+    /// One LSTM step: packed `[i|f|g|o]` pre-activation, then the fused
+    /// gate op (or their unfused naive twins, by tape policy).
     fn step(&self, tape: &mut Tape, store: &ParamStore, x: T, h: T, c: T) -> (T, T) {
-        let w_ih = tape.param(self.w_ih);
-        let w_hh = tape.param(self.w_hh);
-        let b = tape.param(self.b);
-        let zx = tape.matmul(store, w_ih, x);
-        let zh = tape.matmul(store, w_hh, h);
-        let z0 = tape.add(store, zx, zh);
-        let z = tape.add(store, z0, b);
-        let hdim = self.hidden;
-        let i = tape.slice_rows(store, z, 0, hdim);
-        let f = tape.slice_rows(store, z, hdim, hdim);
-        let g = tape.slice_rows(store, z, 2 * hdim, hdim);
-        let o = tape.slice_rows(store, z, 3 * hdim, hdim);
-        let i = tape.sigmoid(store, i);
-        let f = tape.sigmoid(store, f);
-        let g = tape.tanh(store, g);
-        let o = tape.sigmoid(store, o);
-        let fc = tape.mul(store, f, c);
-        let ig = tape.mul(store, i, g);
-        let c2 = tape.add(store, fc, ig);
-        let tc = tape.tanh(store, c2);
-        let h2 = tape.mul(store, o, tc);
-        (h2, c2)
+        let z = tape.affine2(store, self.w_ih, x, self.w_hh, h, self.b);
+        tape.lstm_gates(store, z, c, self.hidden)
     }
 }
 
@@ -185,6 +184,66 @@ impl Seq2Seq {
         self.store.n_scalars()
     }
 
+    /// Read access to the parameter store (gradient-check harness).
+    pub fn store(&self) -> &ParamStore {
+        &self.store
+    }
+
+    /// Mutable access to the parameter store — the finite-difference
+    /// harness perturbs individual scalars through this.
+    pub fn store_mut(&mut self) -> &mut ParamStore {
+        &mut self.store
+    }
+
+    /// The named parameter blocks this variant actually trains (the basic
+    /// variant has no attention or copy-gate weights in its graph).
+    pub fn param_blocks(&self) -> Vec<(&'static str, ParamId)> {
+        let mut blocks = vec![
+            ("embedding", self.embedding),
+            ("enc_fwd.w_ih", self.enc_fwd.w_ih),
+            ("enc_fwd.w_hh", self.enc_fwd.w_hh),
+            ("enc_fwd.b", self.enc_fwd.b),
+            ("enc_bwd.w_ih", self.enc_bwd.w_ih),
+            ("enc_bwd.w_hh", self.enc_bwd.w_hh),
+            ("enc_bwd.b", self.enc_bwd.b),
+            ("dec.w_ih", self.dec.w_ih),
+            ("dec.w_hh", self.dec.w_hh),
+            ("dec.b", self.dec.b),
+            ("w_bridge_h", self.w_bridge_h),
+            ("w_bridge_c", self.w_bridge_c),
+            ("w_out", self.w_out),
+            ("b_out", self.b_out),
+        ];
+        if self.cfg.variant != ModelVariant::Basic {
+            blocks.push(("w_attn", self.w_attn));
+        }
+        if self.cfg.variant == ModelVariant::Copy {
+            blocks.push(("w_gen", self.w_gen));
+        }
+        blocks
+    }
+
+    /// FNV-1a over the exact bit patterns of every parameter scalar — the
+    /// determinism tests compare these across thread counts and kernel
+    /// policies.
+    pub fn params_checksum(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for m in &self.store.mats {
+            for &x in &m.data {
+                for byte in x.to_bits().to_le_bytes() {
+                    h ^= u64::from(byte);
+                    h = h.wrapping_mul(0x0000_0100_0000_01b3);
+                }
+            }
+        }
+        h
+    }
+
+    /// A tape matching this model's kernel policy.
+    fn fresh_tape(&self) -> Tape {
+        Tape::with_policy(self.cfg.kernel)
+    }
+
     /// Encode the source: per-step bi-LSTM outputs (2h) and bridged initial
     /// decoder state.
     fn encode(&self, tape: &mut Tape, src: &[usize]) -> (Vec<T>, T, T) {
@@ -225,23 +284,21 @@ impl Seq2Seq {
 
         let hcat = tape.concat_rows(store, &[fwd_h, bwd_h]);
         let ccat = tape.concat_rows(store, &[fwd_c, bwd_c]);
-        let wbh = tape.param(self.w_bridge_h);
-        let wbc = tape.param(self.w_bridge_c);
-        let dh0 = tape.matmul(store, wbh, hcat);
+        let dh0 = tape.linear(store, self.w_bridge_h, hcat);
         let dh = tape.tanh(store, dh0);
-        let dc0 = tape.matmul(store, wbc, ccat);
+        let dc0 = tape.linear(store, self.w_bridge_c, ccat);
         let dc = tape.tanh(store, dc0);
         (outputs, dh, dc)
     }
 
     /// One decoder step: returns the probability distribution node and the
-    /// new (h, c).
-    #[allow(clippy::too_many_arguments)]
+    /// new (h, c). `copy_rows` is the source token-id row map for the
+    /// pointer-copy scatter (copy variant only).
     fn decode_step(
         &self,
         tape: &mut Tape,
         enc_mat: T,
-        copy_mat: Option<&T>,
+        copy_rows: Option<&[usize]>,
         prev_tok: usize,
         h: T,
         c: T,
@@ -250,36 +307,33 @@ impl Seq2Seq {
         let x = tape.embed(store, self.embedding, prev_tok.min(self.cfg.vocab - 1));
         let (h2, c2) = self.dec.step(tape, store, x, h, c);
 
-        let w_out = tape.param(self.w_out);
-        let b_out = tape.param(self.b_out);
-
         let probs = match self.cfg.variant {
             ModelVariant::Basic => {
-                let z0 = tape.matmul(store, w_out, h2);
-                let z = tape.add(store, z0, b_out);
+                let z = tape.affine(store, self.w_out, h2, self.b_out);
                 tape.softmax(store, z)
             }
             ModelVariant::Attention | ModelVariant::Copy => {
                 // Luong general attention.
-                let wa = tape.param(self.w_attn);
-                let query = tape.matmul(store, wa, h2); // 2h×1
+                let query = tape.linear(store, self.w_attn, h2); // 2h×1
                 let scores = tape.matmul_tn(store, enc_mat, query); // T×1
                 let attn = tape.softmax(store, scores);
                 let ctx = tape.matmul(store, enc_mat, attn); // 2h×1
                 let feat = tape.concat_rows(store, &[h2, ctx]); // 3h×1
-                let z0 = tape.matmul(store, w_out, feat);
-                let z = tape.add(store, z0, b_out);
+                let z = tape.affine(store, self.w_out, feat, self.b_out);
                 let vocab_dist = tape.softmax(store, z);
                 if self.cfg.variant == ModelVariant::Attention {
                     vocab_dist
                 } else {
                     // Pointer-generator: blend vocab and copy distributions.
                     let gen_in = tape.concat_rows(store, &[feat, x]);
-                    let wg = tape.param(self.w_gen);
-                    let gl = tape.matmul(store, wg, gen_in);
+                    let gl = tape.linear(store, self.w_gen, gen_in);
                     let gate = tape.sigmoid(store, gl);
-                    let copy_dist =
-                        tape.matmul(store, *copy_mat.expect("copy matrix"), attn);
+                    let copy_dist = tape.copy_scatter(
+                        store,
+                        attn,
+                        copy_rows.expect("copy rows"),
+                        self.cfg.vocab,
+                    );
                     tape.blend(store, gate, vocab_dist, copy_dist)
                 }
             }
@@ -287,24 +341,21 @@ impl Seq2Seq {
         (probs, h2, c2)
     }
 
-    /// Scatter matrix mapping attention weights (per source position) onto
-    /// the shared vocab: `M[src[i], i] = 1`.
-    fn copy_matrix(&self, tape: &mut Tape, src: &[usize]) -> T {
-        let mut m = Matrix::zeros(self.cfg.vocab, src.len());
-        for (i, &tok) in src.iter().enumerate() {
-            *m.at_mut(tok.min(self.cfg.vocab - 1), i) = 1.0;
-        }
-        tape.constant(m)
+    /// Clamped source token ids — the pointer-copy row map.
+    fn copy_rows(&self, src: &[usize]) -> Option<Vec<usize>> {
+        (self.cfg.variant == ModelVariant::Copy)
+            .then(|| src.iter().map(|&t| t.min(self.cfg.vocab - 1)).collect())
     }
 
-    /// Teacher-forced loss for one sample. Returns (tape, loss node).
-    fn forward_loss(&self, sample: &Sample) -> (Tape, T) {
+    /// Teacher-forced per-token NLL nodes for one sample, recorded on
+    /// `tape` (which is reset first — workers reuse one tape across
+    /// samples so its buffer pool warms up).
+    fn forward_token_losses(&self, tape: &mut Tape, sample: &Sample) -> Vec<T> {
         let store = &self.store;
-        let mut tape = Tape::new();
-        let (enc_outputs, mut h, mut c) = self.encode(&mut tape, &sample.src);
+        tape.reset();
+        let (enc_outputs, mut h, mut c) = self.encode(tape, &sample.src);
         let enc_mat = tape.concat_cols(store, &enc_outputs);
-        let copy_mat = (self.cfg.variant == ModelVariant::Copy)
-            .then(|| self.copy_matrix(&mut tape, &sample.src));
+        let copy_rows = self.copy_rows(&sample.src);
 
         let mut inputs = vec![self.cfg.bos];
         inputs.extend_from_slice(&sample.tgt);
@@ -314,66 +365,99 @@ impl Seq2Seq {
         let mut losses = Vec::with_capacity(targets.len());
         for (prev, &tgt) in inputs.iter().zip(&targets) {
             let (probs, h2, c2) =
-                self.decode_step(&mut tape, enc_mat, copy_mat.as_ref(), *prev, h, c);
+                self.decode_step(tape, enc_mat, copy_rows.as_deref(), *prev, h, c);
             h = h2;
             c = c2;
             let l = tape.nll(store, probs, tgt.min(self.cfg.vocab - 1));
             losses.push(l);
         }
-        let total = tape.sum_scalars(store, &losses);
-        let mean = tape.scale(store, total, 1.0 / losses.len() as f32);
-        (tape, mean)
+        losses
+    }
+
+    /// Teacher-forced mean per-token loss node for one sample.
+    fn forward_loss(&self, tape: &mut Tape, sample: &Sample) -> T {
+        let losses = self.forward_token_losses(tape, sample);
+        let total = tape.sum_scalars(&self.store, &losses);
+        tape.scale(&self.store, total, 1.0 / losses.len() as f32)
     }
 
     /// Per-token mean loss of one sample (no gradient).
     pub fn loss(&self, sample: &Sample) -> f32 {
-        let (tape, loss) = self.forward_loss(sample);
+        let mut tape = self.fresh_tape();
+        let loss = self.forward_loss(&mut tape, sample);
         tape.value(&self.store, loss).data[0]
     }
 
+    /// Per-token mean loss with the final reduction done in f64. The
+    /// finite-difference gradient checker reads losses through this: the
+    /// f32 sum-and-scale quantization of [`Seq2Seq::loss`] (~1 ulp of the
+    /// loss value) is the same order as the FD signal `2ε·∂L/∂θ` for
+    /// small-gradient blocks, so the check needs a readout quantized below
+    /// that.
+    pub fn loss_f64(&self, sample: &Sample) -> f64 {
+        let mut tape = self.fresh_tape();
+        let losses = self.forward_token_losses(&mut tape, sample);
+        let n = losses.len();
+        let sum: f64 = losses
+            .into_iter()
+            .map(|t| f64::from(tape.value(&self.store, t).data[0]))
+            .sum();
+        sum / n as f64
+    }
+
+    /// Forward + backward for one sample: its parameter gradients and
+    /// per-token loss. Public for the gradient-check harness.
+    pub fn sample_grads(&self, sample: &Sample) -> (GradSet, f32) {
+        let mut tape = self.fresh_tape();
+        let loss = self.forward_loss(&mut tape, sample);
+        let v = tape.value(&self.store, loss).data[0];
+        (tape.backward(&self.store, loss), v)
+    }
+
     /// One epoch of mini-batch training over `samples` (already shuffled by
-    /// the caller). On multi-core hosts batch members run on worker threads
-    /// and their gradients merge before the Adam step; on a single core the
-    /// batch runs inline (thread overhead would only hurt). Returns the mean
+    /// the caller). Batch members fan out over the `nv-core::par` work
+    /// queue (each worker reuses one pooled tape); per-sample gradients
+    /// come back in input order and merge through a fixed pairwise tree, so
+    /// the result is bit-identical for any thread count. Returns the mean
     /// per-token loss.
     pub fn train_epoch(&mut self, samples: &[Sample]) -> f32 {
         let mut total = 0.0f64;
         let mut count = 0usize;
         let batch = self.cfg.batch.max(1);
-        let parallel = std::thread::available_parallelism()
-            .map(|n| n.get() > 1)
-            .unwrap_or(false);
+        let threads = if self.cfg.threads == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        } else {
+            self.cfg.threads
+        };
+        let kernel = self.cfg.kernel;
         for chunk in samples.chunks(batch) {
+            let _step = nv_trace::span("nn.step");
             self.store.zero_grads();
-            let results: Vec<(std::collections::HashMap<usize, Matrix>, f32)> = if parallel {
-                std::thread::scope(|s| {
-                    let model = &*self;
-                    let handles: Vec<_> = chunk
-                        .iter()
-                        .map(|sample| {
-                            s.spawn(move || {
-                                let (tape, loss) = model.forward_loss(sample);
-                                let v = tape.value(&model.store, loss).data[0];
-                                (tape.backward(&model.store, loss), v)
-                            })
-                        })
-                        .collect();
-                    handles.into_iter().map(|h| h.join().expect("worker")).collect()
-                })
-            } else {
-                chunk
-                    .iter()
-                    .map(|sample| {
-                        let (tape, loss) = self.forward_loss(sample);
-                        let v = tape.value(&self.store, loss).data[0];
-                        (tape.backward(&self.store, loss), v)
-                    })
-                    .collect()
-            };
-            for (grads, v) in results {
-                self.store.accumulate(grads);
+            let model = &*self;
+            let results: Vec<(GradSet, f32)> = nv_core::par::map_ordered(
+                chunk,
+                threads,
+                || Tape::with_policy(kernel),
+                |tape, _i, sample| {
+                    if nv_trace::enabled() {
+                        nv_trace::count("nn.train.samples", 1);
+                    }
+                    let loss = model.forward_loss(tape, sample);
+                    let v = tape.value(&model.store, loss).data[0];
+                    (tape.backward(&model.store, loss), v)
+                },
+            );
+            let mut grad_sets = Vec::with_capacity(results.len());
+            for (gs, v) in results {
+                grad_sets.push(gs);
                 total += f64::from(v);
                 count += 1;
+            }
+            if let Some(merged) = nv_core::par::tree_reduce(grad_sets, |mut a, b| {
+                a.merge(b);
+                a
+            }) {
+                self.store.accumulate(&merged);
             }
             // Mean over the batch.
             for g in &mut self.store.grads {
@@ -390,7 +474,14 @@ impl Seq2Seq {
         if samples.is_empty() {
             return 0.0;
         }
-        let sum: f32 = samples.iter().map(|s| self.loss(s)).sum();
+        let mut tape = self.fresh_tape();
+        let sum: f32 = samples
+            .iter()
+            .map(|s| {
+                let loss = self.forward_loss(&mut tape, s);
+                tape.value(&self.store, loss).data[0]
+            })
+            .sum();
         sum / samples.len() as f32
     }
 
@@ -401,11 +492,10 @@ impl Seq2Seq {
     pub fn decode_beam(&self, src: &[usize], width: usize) -> Vec<(Vec<usize>, f32)> {
         let width = width.max(1);
         let store = &self.store;
-        let mut tape = Tape::new();
+        let mut tape = self.fresh_tape();
         let (enc_outputs, h0, c0) = self.encode(&mut tape, src);
         let enc_mat = tape.concat_cols(store, &enc_outputs);
-        let copy_mat = (self.cfg.variant == ModelVariant::Copy)
-            .then(|| self.copy_matrix(&mut tape, src));
+        let copy_rows = self.copy_rows(src);
 
         struct Hyp {
             tokens: Vec<usize>,
@@ -427,8 +517,14 @@ impl Seq2Seq {
                     continue;
                 }
                 let prev = *hyp.tokens.last().unwrap_or(&self.cfg.bos);
-                let (probs, h2, c2) =
-                    self.decode_step(&mut tape, enc_mat, copy_mat.as_ref(), prev, hyp.h, hyp.c);
+                let (probs, h2, c2) = self.decode_step(
+                    &mut tape,
+                    enc_mat,
+                    copy_rows.as_deref(),
+                    prev,
+                    hyp.h,
+                    hyp.c,
+                );
                 let pv = tape.value(store, probs);
                 // Top `width` continuations of this hypothesis.
                 let mut scored: Vec<(usize, f32)> = pv
@@ -466,17 +562,16 @@ impl Seq2Seq {
     /// Greedy decoding.
     pub fn decode(&self, src: &[usize]) -> Vec<usize> {
         let store = &self.store;
-        let mut tape = Tape::new();
+        let mut tape = self.fresh_tape();
         let (enc_outputs, mut h, mut c) = self.encode(&mut tape, src);
         let enc_mat = tape.concat_cols(store, &enc_outputs);
-        let copy_mat = (self.cfg.variant == ModelVariant::Copy)
-            .then(|| self.copy_matrix(&mut tape, src));
+        let copy_rows = self.copy_rows(src);
 
         let mut out = Vec::new();
         let mut prev = self.cfg.bos;
         for _ in 0..self.cfg.max_decode_len {
             let (probs, h2, c2) =
-                self.decode_step(&mut tape, enc_mat, copy_mat.as_ref(), prev, h, c);
+                self.decode_step(&mut tape, enc_mat, copy_rows.as_deref(), prev, h, c);
             h = h2;
             c = c2;
             let pv = tape.value(store, probs);
@@ -582,6 +677,8 @@ mod tests {
             bos: 0,
             eos: 1,
             max_decode_len: 10,
+            threads: 0,
+            kernel: KernelPolicy::Fast,
         }
     }
 
@@ -691,5 +788,34 @@ mod tests {
         assert!(basic.n_parameters() > 1000);
         // Attention variant has the larger output projection (3h vs h).
         assert!(attn.n_parameters() > basic.n_parameters());
+    }
+
+    #[test]
+    fn loss_is_identical_across_policies_and_threads() {
+        let samples = toy_samples(16, 12, 11);
+        for variant in ModelVariant::ALL {
+            let mut base: Option<(Vec<u32>, u64)> = None;
+            for (threads, kernel) in [
+                (1, KernelPolicy::Fast),
+                (3, KernelPolicy::Fast),
+                (1, KernelPolicy::NaiveOracle),
+            ] {
+                let mut cfg = tiny_cfg(variant);
+                cfg.threads = threads;
+                cfg.kernel = kernel;
+                let mut model = Seq2Seq::new(cfg);
+                let losses: Vec<u32> = (0..2)
+                    .map(|_| model.train_epoch(&samples).to_bits())
+                    .collect();
+                let sum = model.params_checksum();
+                match &base {
+                    None => base = Some((losses, sum)),
+                    Some((bl, bs)) => {
+                        assert_eq!(bl, &losses, "{variant:?} t={threads} {kernel:?}");
+                        assert_eq!(*bs, sum, "{variant:?} t={threads} {kernel:?}");
+                    }
+                }
+            }
+        }
     }
 }

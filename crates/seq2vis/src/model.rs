@@ -8,7 +8,7 @@ use nv_ast::tokens::parse_vql;
 use nv_ast::VisQuery;
 use nv_core::{Nl2VisPredictor, NvBench, Split};
 use nv_data::Database;
-use nv_nn::{fit, ModelVariant, Sample, Seq2Seq, Seq2SeqConfig, TrainReport};
+use nv_nn::{fit, KernelPolicy, ModelVariant, Sample, Seq2Seq, Seq2SeqConfig, TrainReport};
 
 /// Training-size hyperparameters.
 #[derive(Debug, Clone)]
@@ -24,6 +24,9 @@ pub struct Seq2VisConfig {
     /// NL-token frequency cutoff for the vocab.
     pub min_freq: usize,
     pub seed: u64,
+    /// Batch-member worker threads for training (0 = one per core);
+    /// training is bit-identical for any value.
+    pub threads: usize,
 }
 
 impl Seq2VisConfig {
@@ -38,6 +41,7 @@ impl Seq2VisConfig {
             patience: 5,
             min_freq: 2,
             seed: 42,
+            threads: 0,
         }
     }
 
@@ -84,6 +88,8 @@ impl Seq2Vis {
             bos: BOS,
             eos: EOS,
             max_decode_len: 80,
+            threads: cfg.threads,
+            kernel: KernelPolicy::Fast,
         };
         let model = Seq2Seq::new(s2s_cfg);
         Seq2Vis { cfg, vocab: dataset.vocab.clone(), model }

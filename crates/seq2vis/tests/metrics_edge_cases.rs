@@ -1,0 +1,167 @@
+//! Edge cases for the §4.2 evaluation metrics (ISSUE 5 satellite): empty
+//! inputs, degenerate predictions, zero-support aggregation buckets, and a
+//! pinned case where tree matching and result matching disagree.
+
+use nv_ast::{ChartType, Predicate, VisQuery};
+use nv_core::{Nl2SqlToNl2Vis, Nl2VisPredictor, NvBench, SynthesizerConfig};
+use nv_data::Database;
+use nv_seq2vis::metrics::{evaluate, evaluate_top_k};
+use nv_spider::{CorpusConfig, SpiderCorpus};
+
+fn bench() -> NvBench {
+    let corpus = SpiderCorpus::generate(&CorpusConfig::small(31));
+    Nl2SqlToNl2Vis::new(SynthesizerConfig::default()).synthesize_corpus(&corpus).bench
+}
+
+/// Pair indices whose NL text is unique benchmark-wide (the lookup-based
+/// test predictors would be ambiguous on duplicated NL).
+fn unique_nl_idx(b: &NvBench, cap: usize) -> Vec<usize> {
+    let mut counts: std::collections::HashMap<&str, usize> = Default::default();
+    for p in &b.pairs {
+        *counts.entry(p.nl.as_str()).or_default() += 1;
+    }
+    (0..b.pairs.len())
+        .filter(|&i| counts[b.pairs[i].nl.as_str()] == 1)
+        .take(cap)
+        .collect()
+}
+
+/// Looks the gold tree up by NL and applies a mutation before returning it.
+struct Mutator<'a> {
+    bench: &'a NvBench,
+    mutate: fn(&mut VisQuery),
+}
+
+impl Nl2VisPredictor for Mutator<'_> {
+    fn name(&self) -> String {
+        "mutator".into()
+    }
+    fn predict(&self, nl: &str, _db: &Database) -> Option<VisQuery> {
+        let pair = self.bench.pairs.iter().find(|p| p.nl == nl)?;
+        let mut tree = self.bench.vis_objects[pair.vis_id].tree.clone();
+        (self.mutate)(&mut tree);
+        Some(tree)
+    }
+}
+
+/// An evaluation over **zero pairs** must report 0.0 accuracies (never
+/// NaN) and empty aggregation tables.
+#[test]
+fn empty_pair_set_reports_zero_not_nan() {
+    let b = bench();
+    let noop = Mutator { bench: &b, mutate: |_| {} };
+    let r = evaluate(&noop, &b, &[]);
+    assert_eq!(r.n(), 0);
+    assert_eq!(r.tree_accuracy(), 0.0);
+    assert_eq!(r.result_accuracy(), 0.0);
+    assert!(r.tree_accuracy().is_finite() && r.result_accuracy().is_finite());
+    assert!(r.by_hardness().is_empty());
+    assert!(r.by_chart().is_empty());
+    assert!(r.matrix().is_empty());
+    assert!(r.component_accuracy().is_empty());
+    let (by_chart, all) = r.chart_type_accuracy();
+    assert!(by_chart.is_empty());
+    assert_eq!(all, 0.0);
+    assert!(evaluate_top_k(&noop, &b, &[], 3).is_empty());
+}
+
+/// A prediction with a **duplicated select column** is a legal tree: the
+/// evaluator must not panic, must score it as a tree mismatch, and every
+/// reported number must stay finite.
+#[test]
+fn duplicate_select_components_are_scored_not_crashed() {
+    let b = bench();
+    let dup = Mutator {
+        bench: &b,
+        mutate: |t| {
+            let body = t.query.primary_mut();
+            if let Some(last) = body.select.last().cloned() {
+                body.select.push(last);
+            }
+        },
+    };
+    let idx = unique_nl_idx(&b, 30);
+    let r = evaluate(&dup, &b, &idx);
+    assert_eq!(r.n(), idx.len());
+    // Duplicating an axis attribute changes the tree.
+    assert_eq!(r.tree_accuracy(), 0.0);
+    assert!(r.result_accuracy().is_finite());
+    for (_, acc) in r.component_accuracy() {
+        assert!((0.0..=1.0).contains(&acc));
+    }
+    // The chart type is untouched by the mutation.
+    let (_, chart_acc) = r.chart_type_accuracy();
+    assert_eq!(chart_acc, 1.0);
+}
+
+/// Per-chart and per-(chart, hardness) buckets appear only for charts with
+/// support in the evaluated subset — absent buckets are omitted rather
+/// than reported as 0/0 = NaN.
+#[test]
+fn zero_support_chart_buckets_are_omitted_and_finite() {
+    let b = bench();
+    let noop = Mutator { bench: &b, mutate: |_| {} };
+    // Evaluate only the bar-chart pairs: every other chart bucket has zero
+    // support.
+    let bar_idx: Vec<usize> = unique_nl_idx(&b, usize::MAX)
+        .into_iter()
+        .filter(|&i| b.vis_objects[b.pairs[i].vis_id].chart == ChartType::Bar)
+        .take(20)
+        .collect();
+    assert!(!bar_idx.is_empty(), "corpus has no bar charts");
+    let r = evaluate(&noop, &b, &bar_idx);
+    let by_chart = r.by_chart();
+    assert_eq!(by_chart.keys().copied().collect::<Vec<_>>(), vec![ChartType::Bar]);
+    assert!(by_chart.values().all(|v| v.is_finite()));
+    let (chart_acc, all) = r.chart_type_accuracy();
+    assert_eq!(chart_acc.len(), 1);
+    assert!(all.is_finite());
+    for ((chart, _), (hit, tot)) in r.matrix() {
+        assert_eq!(chart, ChartType::Bar);
+        assert!(tot > 0 && hit <= tot);
+    }
+    // Components without support on any pair are omitted, not NaN.
+    for (_, acc) in r.component_accuracy() {
+        assert!(acc.is_finite());
+    }
+}
+
+/// Pinned disagreement case: swapping the conjuncts of an `AND` filter
+/// changes the AST (tree mismatch) but not the rows it selects (result
+/// match). This is exactly the gap result matching exists to close.
+#[test]
+fn swapped_and_conjuncts_fail_tree_match_but_pass_result_match() {
+    let b = bench();
+    let swap = Mutator {
+        bench: &b,
+        mutate: |t| {
+            for body in t.query.bodies_mut() {
+                body.filter = match body.filter.take() {
+                    Some(Predicate::And(l, r)) => Some(Predicate::And(r, l)),
+                    other => other,
+                };
+            }
+        },
+    };
+    // Restrict to pairs whose gold filter really is a top-level AND, so
+    // every evaluated case exercises the disagreement.
+    let and_idx: Vec<usize> = unique_nl_idx(&b, usize::MAX)
+        .into_iter()
+        .filter(|&i| {
+            b.vis_objects[b.pairs[i].vis_id]
+                .tree
+                .query
+                .bodies()
+                .iter()
+                .any(|body| matches!(body.filter, Some(Predicate::And(..))))
+        })
+        .take(12)
+        .collect();
+    assert!(!and_idx.is_empty(), "corpus has no AND filters to pin against");
+    let r = evaluate(&swap, &b, &and_idx);
+    assert_eq!(r.tree_accuracy(), 0.0, "swapped conjuncts must not tree-match");
+    assert_eq!(r.result_accuracy(), 1.0, "swapped conjuncts must result-match");
+    for c in &r.cases {
+        assert!(!c.tree_match && c.result_match);
+    }
+}

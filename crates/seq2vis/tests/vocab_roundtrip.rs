@@ -1,0 +1,105 @@
+//! Property tests for the seq2vis vocabulary and NL tokenizer (ISSUE 5
+//! satellite): `nl_tokens` never panics on arbitrary text, the
+//! tokens → ids → tokens round trip through a vocab built over them is
+//! lossless, and canonical escaped-quote tokens (`'it''s'`-style, the PR-4
+//! quoting convention shared with the VQL tokenizer) survive intact.
+
+use nv_seq2vis::vocab::{nl_tokens, Vocab, UNK};
+use proptest::prelude::*;
+
+/// Messy free text: words, punctuation the tokenizer splits on, quote
+/// characters (balanced or not), dots in identifier/number/sentence
+/// positions, and some non-ASCII.
+fn arb_text() -> impl Strategy<Value = String> {
+    proptest::collection::vec(
+        prop_oneof![
+            "[a-zA-Z]{1,8}".prop_map(|w| w),
+            "[0-9]{1,3}(\\.[0-9]{1,2})?".prop_map(|n| n),
+            "[a-z]{1,4}\\.[a-z]{1,4}".prop_map(|c| c),
+            Just("'".to_string()),
+            Just("''".to_string()),
+            Just(",".to_string()),
+            Just("?".to_string()),
+            Just("(".to_string()),
+            Just(")".to_string()),
+            Just(".".to_string()),
+            Just(":".to_string()),
+            Just("é漢".to_string()),
+        ],
+        0..12,
+    )
+    .prop_map(|parts| parts.join(" "))
+}
+
+proptest! {
+    /// The tokenizer totals: no panic, no empty tokens, nothing containing
+    /// whitespace outside a quoted span, everything lowercased.
+    #[test]
+    fn nl_tokens_never_panics_and_is_canonical(s in arb_text()) {
+        let toks = nl_tokens(&s);
+        for t in &toks {
+            prop_assert!(!t.is_empty());
+            prop_assert_eq!(t.to_lowercase(), t.clone());
+            if !t.starts_with('\'') {
+                prop_assert!(!t.chars().any(char::is_whitespace), "{:?}", t);
+            }
+        }
+    }
+
+    /// tokens → encode → decode is the identity once the vocab contains
+    /// the tokens (min_freq = 1 keeps everything).
+    #[test]
+    fn encode_decode_round_trips(s in arb_text()) {
+        let toks = nl_tokens(&s);
+        let vocab = Vocab::build([toks.as_slice()].into_iter(), 1);
+        let ids = vocab.encode(&toks);
+        prop_assert_eq!(vocab.decode(&ids), toks);
+    }
+
+    /// Tokens dropped by the frequency cutoff decode to `<unk>` — decoding
+    /// never panics or invents tokens.
+    #[test]
+    fn rare_tokens_degrade_to_unk_without_panic(s in arb_text()) {
+        let toks = nl_tokens(&s);
+        // min_freq 2 over a single stream drops every unrepeated token.
+        let vocab = Vocab::build([toks.as_slice()].into_iter(), 2);
+        let ids = vocab.encode(&toks);
+        let back = vocab.decode(&ids);
+        prop_assert_eq!(back.len(), toks.len());
+        for (id, (orig, dec)) in ids.iter().zip(toks.iter().zip(&back)) {
+            if *id == UNK && orig != "<unk>" {
+                prop_assert_eq!(dec.as_str(), "<unk>");
+            } else {
+                prop_assert_eq!(dec, orig);
+            }
+        }
+    }
+
+    /// A quoted span whose inner text carries a doubled-quote escape is
+    /// kept as ONE canonical token (the PR-4 convention shared with
+    /// `tokenize_vql`), and survives the vocab round trip bit-for-bit.
+    #[test]
+    fn escaped_quote_tokens_round_trip(inner in "[a-z]{1,6}", tail in "[a-z]{1,6}") {
+        let text = format!("find '{inner}''{tail}' rows");
+        let toks = nl_tokens(&text);
+        let quoted = format!("'{inner}''{tail}'");
+        prop_assert!(
+            toks.contains(&quoted),
+            "tokenizer split the escaped span: {:?}", toks
+        );
+        let vocab = Vocab::build([toks.as_slice()].into_iter(), 1);
+        let ids = vocab.encode(&toks);
+        let back = vocab.decode(&ids);
+        prop_assert!(back.contains(&quoted));
+        prop_assert_eq!(back, toks);
+    }
+}
+
+/// Deterministic pin of the escape convention, independent of generators.
+#[test]
+fn escaped_quote_pin() {
+    let toks = nl_tokens("Who said 'it''s fine' yesterday?");
+    assert!(toks.contains(&"'it''s fine'".to_string()), "{toks:?}");
+    let vocab = Vocab::build([toks.as_slice()].into_iter(), 1);
+    assert_eq!(vocab.decode(&vocab.encode(&toks)), toks);
+}

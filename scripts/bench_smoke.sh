@@ -1,14 +1,18 @@
 #!/usr/bin/env bash
-# Quick throughput smoke: release build, quick-mode exp_scale, and the
-# resulting BENCH_synth.json (pairs/sec + speedup vs the sequential oracle,
-# plus the nv-trace attribution from a separate traced run: per-stage
-# timings under "traced_parallel_run.stages" and executor cache hit rates
-# under "traced_parallel_run.cache_hit_rates").
+# Quick throughput smoke: release build, quick-mode exp_scale and
+# train_throughput, and the resulting BENCH_synth.json (pairs/sec + speedup
+# vs the sequential oracle, plus the nv-trace attribution from a separate
+# traced run: per-stage timings under "traced_parallel_run.stages" and
+# executor cache hit rates under "traced_parallel_run.cache_hit_rates")
+# and BENCH_train.json (training tokens/sec per seq2vis variant, fast
+# kernels vs the bit-identical naive oracle, plus GEMM-flop/tape-node
+# attribution from a traced epoch).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 cargo build --release -p nv-bench
 NV_EXP_SCALE_QUICK=1 cargo bench -p nv-bench --bench exp_scale
+NV_EXP_TRAIN_QUICK=1 cargo bench -p nv-bench --bench train_throughput
 
 echo
 echo "--- BENCH_synth.json ---"
@@ -16,3 +20,9 @@ cat BENCH_synth.json
 echo
 echo "--- trace digest (stage → total_ms, cache → hit_rate) ---"
 grep -E '"(parse|edits|filter|nledit|scan|group|result)"|total_ms|hit_rate' BENCH_synth.json
+echo
+echo "--- BENCH_train.json ---"
+cat BENCH_train.json
+echo
+echo "--- train digest (tokens/sec, speedup) ---"
+grep -E '"tokens_per_sec"|"speedup"|"min_speedup"' BENCH_train.json

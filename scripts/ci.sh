@@ -2,11 +2,14 @@
 # The repo's CI gate, runnable locally. Stages:
 #
 #   scripts/ci.sh                  # everything (build, tests, faults,
-#                                  # warnings, differential, golden, trace)
+#                                  # warnings, differential, golden, trace,
+#                                  # gradcheck)
 #   scripts/ci.sh differential     # 5,000-case differential-oracle batch
 #   scripts/ci.sh golden           # verify golden corpus snapshots
 #   scripts/ci.sh golden --bless   # regenerate snapshots, then re-verify
 #   scripts/ci.sh trace            # traced synthesis + report schema gate
+#   scripts/ci.sh gradcheck        # nv-nn gradient checks + cross-thread
+#                                  # training determinism
 #
 # The differential stage runs every generated query through all four
 # executor entry points (plain, cache-cold, cache-warm, budgeted) against
@@ -38,6 +41,13 @@ run_trace() {
   cargo test --release -q --test trace_observability
 }
 
+run_gradcheck() {
+  echo "=== nv-nn: finite-difference gradient checks (all variants) ==="
+  cargo test --release -q --test grad_check
+  echo "=== nv-nn: bit-identical training across 1/2/4 threads + kernel policies ==="
+  cargo test --release -q --test train_determinism
+}
+
 case "$stage" in
   differential)
     run_differential
@@ -51,34 +61,41 @@ case "$stage" in
     run_trace
     exit 0
     ;;
+  gradcheck)
+    run_gradcheck
+    exit 0
+    ;;
   all) ;;
   *)
-    echo "usage: scripts/ci.sh [all|differential|golden [--bless]|trace]" >&2
+    echo "usage: scripts/ci.sh [all|differential|golden [--bless]|trace|gradcheck]" >&2
     exit 2
     ;;
 esac
 
-echo "=== [1/7] cargo build --release ==="
+echo "=== [1/8] cargo build --release ==="
 cargo build --release
 
-echo "=== [2/7] cargo test -q ==="
+echo "=== [2/8] cargo test -q ==="
 cargo test -q
 
-echo "=== [3/7] fault-injection harness ==="
+echo "=== [3/8] fault-injection harness ==="
 cargo test -q --test fault_injection
 
-echo "=== [4/7] warnings-clean (fault-isolation + trace + oracle crates) ==="
+echo "=== [4/8] warnings-clean (fault-isolation + trace + oracle + nn crates) ==="
 RUSTFLAGS="-D warnings" cargo check -q \
   -p nv-fault -p nv-trace -p nv-data -p nv-sql -p nv-render -p nv-synth \
-  -p nv-core -p nv-oracle
+  -p nv-core -p nv-oracle -p nv-nn -p nv-seq2vis
 
-echo "=== [5/7] differential oracle ==="
+echo "=== [5/8] differential oracle ==="
 run_differential
 
-echo "=== [6/7] golden snapshots ==="
+echo "=== [6/8] golden snapshots ==="
 run_golden
 
-echo "=== [7/7] trace observability gate ==="
+echo "=== [7/8] trace observability gate ==="
 run_trace
+
+echo "=== [8/8] training-kernel gradcheck + determinism gate ==="
+run_gradcheck
 
 echo "=== CI green ==="

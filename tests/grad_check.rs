@@ -1,0 +1,173 @@
+//! Central-finite-difference gradient checks for the nv-nn training
+//! kernels, over **every parameter block** of all three seq2vis model
+//! variants (ISSUE 5 gate).
+//!
+//! For each variant we build a tiny model, take one teacher-forced sample,
+//! and compare the analytic gradient from `Seq2Seq::sample_grads` against a
+//! central finite difference computed scalar-by-scalar through
+//! `store_mut()`. The comparison is per parameter block (embedding, each
+//! LSTM gate stack, attention, copy gate, output projection) using the
+//! norm relative error `‖num − ana‖ / max(‖num‖, ‖ana‖)` — individual f32
+//! finite differences are noisy, but over a block the noise averages down
+//! below the 1e-3 gate.
+//!
+//! Working in f32 forces both error terms to be managed explicitly: the
+//! five-point fourth-order stencil removes the O(ε²) truncation bias
+//! (visible at the gate on high-curvature blocks like the forget bias,
+//! which sits near 1.0), and each block is probed at two step sizes — the
+//! smaller controls residual truncation on high-curvature blocks, the
+//! larger keeps the forward pass's rounding noise (O(ulp/ε)) under the
+//! gate on small-gradient blocks like the recurrent and attention
+//! weights. A block passes at whichever step suits its curvature, the
+//! standard step-size-scan resolution of the FD trade-off.
+
+use nv_nn::{KernelPolicy, ModelVariant, Sample, Seq2Seq, Seq2SeqConfig};
+
+fn tiny_cfg(variant: ModelVariant, kernel: KernelPolicy) -> Seq2SeqConfig {
+    Seq2SeqConfig {
+        vocab: 10,
+        embed_dim: 6,
+        hidden: 8,
+        variant,
+        seed: 17,
+        lr: 5e-3,
+        clip: 2.0,
+        batch: 4,
+        bos: 0,
+        eos: 1,
+        max_decode_len: 8,
+        threads: 1,
+        kernel,
+    }
+}
+
+/// The check sample repeats source tokens so the pointer-copy scatter
+/// exercises its duplicate-row accumulation path; it is long enough that
+/// every block's gradient accumulates over several timesteps (which lifts
+/// the block norms well above the f32 finite-difference noise floor).
+fn check_sample() -> Sample {
+    Sample { src: vec![4, 7, 4, 9, 2, 7, 5, 8], tgt: vec![9, 4, 7, 2, 8, 5] }
+}
+
+fn run_grad_check(variant: ModelVariant, kernel: KernelPolicy) {
+    let mut model = Seq2Seq::new(tiny_cfg(variant, kernel));
+    // A break-in phase: at a symmetric random init the recurrent and
+    // attention weights carry almost no gradient (hidden dynamics and
+    // attention haven't differentiated — `w_attn`'s block norm is ~1000×
+    // smaller than the output projection's), which puts them at the f32
+    // finite-difference noise floor. Training briefly on the same
+    // reversal-style task lifts every block's gradient norm well above
+    // it, making the check sharp instead of noise-bound.
+    let warmup: Vec<Sample> = (0..16)
+        .map(|i| {
+            let src: Vec<usize> = (0..4 + i % 3).map(|j| 2 + (i + j) % 8).collect();
+            let mut tgt = src.clone();
+            tgt.reverse();
+            Sample { src, tgt }
+        })
+        .collect();
+    for _ in 0..10 {
+        model.train_epoch(&warmup);
+    }
+    let sample = check_sample();
+    let (analytic, loss) = model.sample_grads(&sample);
+    assert!(loss.is_finite() && loss > 0.0, "{variant:?}: bad loss {loss}");
+
+    const STEPS: [f64; 2] = [3e-2, 6e-2];
+    for (name, id) in model.param_blocks() {
+        let n = model.store().get(id).data.len();
+        let ana: Vec<f64> = analytic
+            .get(id)
+            .map(|m| m.data.iter().map(|&x| f64::from(x)).collect())
+            .unwrap_or_else(|| vec![0.0; n]);
+        let ana_norm: f64 = ana.iter().map(|x| x * x).sum::<f64>().sqrt();
+
+        let mut best: Option<(f64, f64, f64)> = None; // (rel, num_norm, diff_norm)
+        for eps in STEPS {
+            let mut num = vec![0.0f64; n];
+            for k in 0..n {
+                let orig = model.store().get(id).data[k];
+                let mut probe = |delta: f64| {
+                    model.store_mut().mats[id.0].data[k] = (f64::from(orig) + delta) as f32;
+                    model.loss_f64(&sample)
+                };
+                // Five-point stencil: f'(x) ≈ (−f₊₂+8f₊₁−8f₋₁+f₋₂)/12ε.
+                let p2 = probe(2.0 * eps);
+                let p1 = probe(eps);
+                let m1 = probe(-eps);
+                let m2 = probe(-2.0 * eps);
+                model.store_mut().mats[id.0].data[k] = orig;
+                num[k] = (-p2 + 8.0 * p1 - 8.0 * m1 + m2) / (12.0 * eps);
+            }
+            let num_norm: f64 = num.iter().map(|x| x * x).sum::<f64>().sqrt();
+            let diff_norm: f64 = num
+                .iter()
+                .zip(&ana)
+                .map(|(n, a)| (n - a) * (n - a))
+                .sum::<f64>()
+                .sqrt();
+            let denom = num_norm.max(ana_norm);
+            // A whole block whose gradient vanished both numerically and
+            // analytically would make the check vacuous; no block in this
+            // graph goes dead after the break-in.
+            assert!(
+                denom > 1e-6,
+                "{variant:?}/{name}: gradient vanished (num {num_norm}, ana {ana_norm})"
+            );
+            let rel = diff_norm / denom;
+            if best.is_none_or(|(b, _, _)| rel < b) {
+                best = Some((rel, num_norm, diff_norm));
+            }
+        }
+        let (rel, num_norm, diff_norm) = best.unwrap();
+        assert!(
+            rel < 1e-3,
+            "{variant:?}/{name} ({kernel:?}): relative error {rel:.2e} \
+             (‖num‖={num_norm:.3e} ‖ana‖={ana_norm:.3e} ‖diff‖={diff_norm:.3e})"
+        );
+    }
+}
+
+#[test]
+fn grad_check_basic_variant() {
+    run_grad_check(ModelVariant::Basic, KernelPolicy::Fast);
+}
+
+#[test]
+fn grad_check_attention_variant() {
+    run_grad_check(ModelVariant::Attention, KernelPolicy::Fast);
+}
+
+#[test]
+fn grad_check_copy_variant() {
+    run_grad_check(ModelVariant::Copy, KernelPolicy::Fast);
+}
+
+/// The naive-oracle kernels must satisfy the same gate — they are the
+/// reference the fast path is checked against, so they get checked against
+/// arithmetic ground truth themselves.
+#[test]
+fn grad_check_copy_variant_naive_oracle() {
+    run_grad_check(ModelVariant::Copy, KernelPolicy::NaiveOracle);
+}
+
+/// The blocks reported by `param_blocks` track the variant's actual graph:
+/// basic has no attention/copy weights, attention adds `w_attn`, copy adds
+/// `w_gen`.
+#[test]
+fn param_blocks_match_variant() {
+    let names = |v: ModelVariant| -> Vec<&'static str> {
+        Seq2Seq::new(tiny_cfg(v, KernelPolicy::Fast))
+            .param_blocks()
+            .into_iter()
+            .map(|(n, _)| n)
+            .collect()
+    };
+    let basic = names(ModelVariant::Basic);
+    let attn = names(ModelVariant::Attention);
+    let copy = names(ModelVariant::Copy);
+    assert!(!basic.contains(&"w_attn") && !basic.contains(&"w_gen"));
+    assert!(attn.contains(&"w_attn") && !attn.contains(&"w_gen"));
+    assert!(copy.contains(&"w_attn") && copy.contains(&"w_gen"));
+    assert!(basic.contains(&"embedding") && basic.contains(&"w_out"));
+}
